@@ -1,0 +1,38 @@
+"""Table 3 default setup across all four datasets (cross-check experiment E9).
+
+One benchmark per (dataset, algorithm) pair at the default parameters,
+mirroring the bold column of Table 3.  Also benchmarks the centralized oracle
+on the uniform dataset as a non-distributed reference point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import execute
+
+ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_default_flickr(benchmark, flickr_spec, algorithm):
+    benchmark(execute, flickr_spec, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_default_twitter(benchmark, twitter_spec, algorithm):
+    benchmark(execute, twitter_spec, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_default_uniform(benchmark, uniform_spec, algorithm):
+    benchmark(execute, uniform_spec, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ("espq-len", "espq-sco"))
+def test_default_clustered(benchmark, clustered_spec, algorithm):
+    benchmark(execute, clustered_spec, algorithm)
+
+
+def test_default_uniform_centralized_reference(benchmark, uniform_spec):
+    benchmark(execute, uniform_spec, "centralized")

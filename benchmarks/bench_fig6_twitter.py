@@ -1,0 +1,43 @@
+"""Figure 6 — Twitter (TW) dataset: default setup plus the sweep endpoints.
+
+Same structure as Figure 5, on the Twitter-like dataset (9.8 keywords per
+feature object on average, larger dictionary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import execute
+
+ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_default_setup(benchmark, twitter_spec, algorithm):
+    result = benchmark(execute, twitter_spec, algorithm)
+    assert len(result) <= twitter_spec.k
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6a_largest_grid(benchmark, twitter_spec, algorithm):
+    result = benchmark(execute, twitter_spec, algorithm, grid_size=24)
+    assert result.stats["num_cells"] == 24 * 24
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6b_ten_query_keywords(benchmark, twitter_spec, algorithm):
+    result = benchmark(execute, twitter_spec, algorithm, num_keywords=10)
+    assert result.stats["features_examined"] >= 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6c_largest_radius(benchmark, twitter_spec, algorithm):
+    result = benchmark(execute, twitter_spec, algorithm, radius_fraction=1.0)
+    assert result.stats["feature_duplicates"] >= 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6d_top_100(benchmark, twitter_spec, algorithm):
+    result = benchmark(execute, twitter_spec, algorithm, k=100)
+    assert len(result) <= 100

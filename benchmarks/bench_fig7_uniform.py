@@ -1,0 +1,44 @@
+"""Figure 7 — Uniform (UN) synthetic dataset: default setup plus sweep endpoints.
+
+The paper uses the synthetic datasets to stress scalability; the gap between
+pSPQ and the early-termination algorithms is widest here (more than an order
+of magnitude at full scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import execute
+
+ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7_default_setup(benchmark, uniform_spec, algorithm):
+    result = benchmark(execute, uniform_spec, algorithm)
+    assert len(result) <= uniform_spec.k
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7a_largest_grid(benchmark, uniform_spec, algorithm):
+    result = benchmark(execute, uniform_spec, algorithm, grid_size=20)
+    assert result.stats["num_cells"] == 400
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7b_ten_query_keywords(benchmark, uniform_spec, algorithm):
+    result = benchmark(execute, uniform_spec, algorithm, num_keywords=10)
+    assert result.stats["features_examined"] >= 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7c_largest_radius(benchmark, uniform_spec, algorithm):
+    result = benchmark(execute, uniform_spec, algorithm, radius_fraction=1.0)
+    assert result.stats["feature_duplicates"] >= 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7d_top_100(benchmark, uniform_spec, algorithm):
+    result = benchmark(execute, uniform_spec, algorithm, k=100)
+    assert len(result) <= 100

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Hotel finder over a synthetic city: the paper's motivating scenario at scale.
+
+Generates a clustered "city" of hotels (data objects) and restaurants
+annotated with cuisine keywords (feature objects), then answers several
+spatial preference queries -- "best hotels with a highly-relevant <cuisine>
+restaurant nearby" -- comparing the three distributed algorithms on result
+quality (identical) and on the work they perform (very different).
+
+Run with::
+
+    python examples/hotel_finder.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DataObject, FeatureObject, SPQEngine, SpatialPreferenceQuery
+
+CUISINES = [
+    "italian", "sushi", "greek", "mexican", "indian", "chinese", "thai",
+    "french", "burger", "vegan", "seafood", "bbq", "tapas", "ramen",
+]
+QUALIFIERS = [
+    "gourmet", "cheap", "romantic", "family", "rooftop", "organic", "late-night",
+    "historic", "waterfront", "buffet",
+]
+
+CITY_SIZE = 40.0
+NUM_DISTRICTS = 8
+NUM_HOTELS = 2_000
+NUM_RESTAURANTS = 3_000
+
+
+def build_city(seed: int = 2024):
+    """Hotels and restaurants clustered around a handful of districts."""
+    rng = random.Random(seed)
+    districts = [
+        (rng.uniform(5, CITY_SIZE - 5), rng.uniform(5, CITY_SIZE - 5))
+        for _ in range(NUM_DISTRICTS)
+    ]
+
+    def place():
+        cx, cy = districts[rng.randrange(NUM_DISTRICTS)]
+        return (
+            min(max(rng.gauss(cx, 2.0), 0.0), CITY_SIZE),
+            min(max(rng.gauss(cy, 2.0), 0.0), CITY_SIZE),
+        )
+
+    hotels = []
+    for index in range(NUM_HOTELS):
+        x, y = place()
+        hotels.append(DataObject(f"hotel-{index}", x, y))
+
+    restaurants = []
+    for index in range(NUM_RESTAURANTS):
+        x, y = place()
+        keywords = {rng.choice(CUISINES)} | set(
+            rng.sample(QUALIFIERS, rng.randint(0, 3))
+        )
+        restaurants.append(FeatureObject(f"rest-{index}", x, y, keywords))
+    return hotels, restaurants
+
+
+def main() -> None:
+    hotels, restaurants = build_city()
+    engine = SPQEngine(hotels, restaurants)
+
+    queries = {
+        "romantic italian dinner": {"italian", "romantic"},
+        "cheap ramen nearby": {"ramen", "cheap"},
+        "gourmet seafood on the waterfront": {"seafood", "gourmet", "waterfront"},
+    }
+
+    for title, keywords in queries.items():
+        query = SpatialPreferenceQuery.create(k=5, radius=1.0, keywords=keywords)
+        print(f"== {title} ==  ({query.describe()})")
+        reference = None
+        for algorithm in ("pspq", "espq-len", "espq-sco"):
+            result = engine.execute(query, algorithm=algorithm, grid_size=20)
+            scores = [round(score, 3) for score in result.scores()]
+            if reference is None:
+                reference = scores
+                for entry in result:
+                    print(f"   {entry.obj.oid:<12} score={entry.score:.3f} "
+                          f"at ({entry.obj.x:.1f}, {entry.obj.y:.1f})")
+            assert scores == reference, "algorithms disagree!"
+            print(
+                f"   {algorithm:<10} features examined: "
+                f"{result.stats['features_examined']:>6}   "
+                f"score computations: {result.stats['score_computations']:>7}   "
+                f"simulated time: {result.stats['simulated_seconds']:7.1f}s"
+            )
+        print()
+
+    print("All three algorithms return identical rankings; the early-termination")
+    print("variants examine only a fraction of the restaurant dataset.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro -- reproduction of "Parallel and Distributed Processing of Spatial
+Preference Queries using Keywords" (Doulkeridis, Vlachou, Mpestas, Mamoulis,
+EDBT 2017).
+
+Quickstart::
+
+    from repro import SPQEngine, SpatialPreferenceQuery
+    from repro.datagen import generate_uniform
+
+    data_objects, feature_objects = generate_uniform()
+    engine = SPQEngine(data_objects, feature_objects)
+    query = SpatialPreferenceQuery.create(k=10, radius=1.0, keywords={"w0001", "w0002"})
+    result = engine.execute(query, algorithm="espq-sco", grid_size=50)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.model import (
+    DataObject,
+    FeatureObject,
+    QueryResult,
+    ScoredObject,
+    SpatialPreferenceQuery,
+    TopKList,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPQEngine",
+    "EngineConfig",
+    "ALGORITHMS",
+    "DataObject",
+    "FeatureObject",
+    "SpatialPreferenceQuery",
+    "ScoredObject",
+    "TopKList",
+    "QueryResult",
+    "__version__",
+]

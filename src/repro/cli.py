@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+Four subcommands cover the full workflow a downstream user needs:
+
+* ``generate``    -- create a dataset file (UN / CL / FL-like / TW-like).
+* ``query``       -- run a spatial preference query over a dataset file with
+  any of the algorithms and print the top-k plus execution statistics.
+* ``analyze``     -- print the Section 6 analytical tables (duplication factor
+  and cell-size cost) for given parameters.
+* ``experiments`` -- regenerate the figure series (same engine as
+  ``benchmarks/run_all.py``) for one figure or all of them.
+
+Examples::
+
+    python -m repro generate --dataset uniform --objects 10000 --output un.tsv
+    python -m repro query --input un.tsv --keywords w0001,w0002 --k 10 \
+        --radius-fraction 0.1 --grid-size 20 --algorithm espq-sco
+    python -m repro analyze duplication --cell-side 10 --radius 2
+    python -m repro experiments --figure 7 --objects 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core.analysis import duplication_factor, reducer_cost_model
+from repro.core.centralized import dataset_extent
+from repro.core.engine import ALGORITHMS, SPQEngine
+from repro.datagen.io import load_dataset, save_dataset
+from repro.datagen.queries import radius_from_cell_fraction
+from repro.datagen.realistic import (
+    RealisticDatasetConfig,
+    generate_flickr_like,
+    generate_twitter_like,
+)
+from repro.datagen.synthetic import (
+    SyntheticDatasetConfig,
+    generate_clustered,
+    generate_uniform,
+)
+from repro.model.query import SpatialPreferenceQuery
+
+DATASET_CHOICES = ("uniform", "clustered", "flickr", "twitter")
+
+
+# --------------------------------------------------------------------- #
+# generate
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset in ("uniform", "clustered"):
+        config = SyntheticDatasetConfig(num_objects=args.objects, seed=args.seed)
+        generator = generate_uniform if args.dataset == "uniform" else generate_clustered
+        data, features = generator(config)
+    else:
+        config = RealisticDatasetConfig(
+            num_objects=args.objects,
+            vocabulary_size=args.vocabulary_size,
+            seed=args.seed,
+            mean_keywords=7.9 if args.dataset == "flickr" else 9.8,
+        )
+        generator = generate_flickr_like if args.dataset == "flickr" else generate_twitter_like
+        data, features = generator(config=config)
+    written = save_dataset(args.output, data, features)
+    print(
+        f"Wrote {written} records ({len(data)} data objects, {len(features)} feature objects) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# query
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data, features = load_dataset(args.input)
+    if not data:
+        print("error: dataset contains no data objects", file=sys.stderr)
+        return 2
+    keywords = {word for word in args.keywords.split(",") if word}
+    if not keywords:
+        print("error: --keywords must contain at least one keyword", file=sys.stderr)
+        return 2
+
+    engine = SPQEngine(data, features)
+    if args.radius is not None:
+        radius = args.radius
+    else:
+        extent = dataset_extent(data, features)
+        radius = radius_from_cell_fraction(extent, args.grid_size, args.radius_fraction)
+    query = SpatialPreferenceQuery.create(k=args.k, radius=radius, keywords=keywords)
+
+    result = engine.execute(query, algorithm=args.algorithm, grid_size=args.grid_size)
+    print(f"Query: {query.describe()}  [algorithm={args.algorithm}, grid={args.grid_size}]")
+    if not result.entries:
+        print("No data object has a positive score for this query.")
+    for rank, entry in enumerate(result, start=1):
+        print(f"  {rank:>3}. {entry.obj.oid:<16} score={entry.score:.4f} "
+              f"({entry.obj.x:.3f}, {entry.obj.y:.3f})")
+    if args.stats and "simulated_seconds" in result.stats:
+        stats = result.stats
+        print("\nExecution statistics:")
+        print(f"  reduce tasks:        {stats['num_reduce_tasks']}")
+        print(f"  shuffled records:    {stats['shuffled_records']}")
+        print(f"  features pruned:     {stats['features_pruned']}")
+        print(f"  features examined:   {stats['features_examined']}")
+        print(f"  score computations:  {stats['score_computations']}")
+        print(f"  simulated job time:  {stats['simulated_seconds']:.1f}s")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# analyze
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.what == "duplication":
+        df = duplication_factor(args.cell_side, args.radius)
+        print(f"cell side a = {args.cell_side}, radius r = {args.radius}")
+        print(f"duplication factor df = {df:.4f}")
+        print(f"expected feature copies for |F| = {args.features}: {df * args.features:.0f}")
+    else:  # cell-size
+        print("cell side | df       | reducer cost df*a^4 (normalised)")
+        print("----------|----------|--------------------------------")
+        for divisor in (2, 4, 8, 16, 32, 64):
+            side = 1.0 / divisor
+            radius = side * args.radius_fraction
+            print(
+                f"1/{divisor:<7} | {duplication_factor(side, radius):<8.4f} | "
+                f"{reducer_cost_model(side, radius):.3e}"
+            )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# experiments
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as exp
+
+    figure_map = {
+        "5": lambda: exp.figure5_flickr(args.objects),
+        "6": lambda: exp.figure6_twitter(args.objects),
+        "7": lambda: exp.figure7_uniform(args.objects),
+        "8": lambda: exp.figure8_scalability(),
+        "9": lambda: exp.figure9_clustered(args.objects),
+    }
+    figures = list(figure_map) if args.figure == "all" else [args.figure]
+    for figure in figures:
+        print(f"\n===== Figure {figure} =====")
+        for label, sweep in figure_map[figure]().items():
+            print(f"\n--- {label} ---")
+            print(sweep.as_table())
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial preference queries using keywords (EDBT 2017 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a dataset file")
+    generate.add_argument("--dataset", choices=DATASET_CHOICES, required=True)
+    generate.add_argument("--objects", type=int, default=10_000)
+    generate.add_argument("--vocabulary-size", type=int, default=5_000,
+                          help="dictionary size for flickr/twitter-like datasets")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    query = subparsers.add_parser("query", help="run a query over a dataset file")
+    query.add_argument("--input", required=True)
+    query.add_argument("--keywords", required=True, help="comma-separated query keywords")
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--radius", type=float, default=None,
+                       help="absolute query radius (overrides --radius-fraction)")
+    query.add_argument("--radius-fraction", type=float, default=0.10,
+                       help="radius as a fraction of the grid-cell side (default 0.10)")
+    query.add_argument("--grid-size", type=int, default=50)
+    query.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco")
+    query.add_argument("--stats", action="store_true", help="print execution statistics")
+    query.set_defaults(func=_cmd_query)
+
+    analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")
+    analyze.add_argument("what", choices=("duplication", "cell-size"))
+    analyze.add_argument("--cell-side", type=float, default=10.0)
+    analyze.add_argument("--radius", type=float, default=2.0)
+    analyze.add_argument("--radius-fraction", type=float, default=0.10)
+    analyze.add_argument("--features", type=int, default=1_000_000)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    experiments = subparsers.add_parser("experiments", help="regenerate figure series")
+    experiments.add_argument("--figure", choices=("5", "6", "7", "8", "9", "all"), default="all")
+    experiments.add_argument("--objects", type=int, default=4_000)
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

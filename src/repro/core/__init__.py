@@ -1,0 +1,40 @@
+"""Core contribution of the paper: parallel/distributed SPQ processing.
+
+Public API:
+
+* :class:`~repro.core.engine.SPQEngine` -- runs a spatial preference query
+  using keywords over (data, feature) datasets with any of the paper's three
+  algorithms (``pSPQ``, ``eSPQlen``, ``eSPQsco``) on the simulated MapReduce
+  substrate, or with the centralized oracle used for correctness checks.
+* The individual MapReduce job classes in :mod:`repro.core.jobs`.
+* The theoretical analysis helpers of Section 6 in :mod:`repro.core.analysis`.
+"""
+
+from repro.core.analysis import (
+    duplication_factor,
+    max_duplication_factor,
+    reducer_cost_model,
+    optimal_relative_cell_size,
+)
+from repro.core.centralized import CentralizedSPQ
+from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.core.indexed_baseline import IndexedCentralizedSPQ
+from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob
+from repro.core.scoring import compute_score, rank_objects
+
+__all__ = [
+    "SPQEngine",
+    "EngineConfig",
+    "ALGORITHMS",
+    "CentralizedSPQ",
+    "IndexedCentralizedSPQ",
+    "PSPQJob",
+    "ESPQLenJob",
+    "ESPQScoJob",
+    "compute_score",
+    "rank_objects",
+    "duplication_factor",
+    "max_duplication_factor",
+    "reducer_cost_model",
+    "optimal_relative_cell_size",
+]

@@ -1,0 +1,220 @@
+"""The public query-processing engine.
+
+:class:`SPQEngine` wires everything together: it holds a pair of datasets
+(data objects and feature objects), builds the query-time grid, runs one of
+the paper's MapReduce algorithms on the simulated engine (or the centralized
+oracle), merges the per-cell top-k lists into the global result and attaches
+execution statistics -- including the simulated job execution time from the
+cluster cost model, which is the metric all the paper's figures report.
+
+Typical use::
+
+    engine = SPQEngine(data_objects, feature_objects)
+    query = SpatialPreferenceQuery.create(k=10, radius=0.5, keywords={"italian"})
+    result = engine.execute(query, algorithm="espq-sco", grid_size=50)
+    for entry in result:
+        print(entry.obj.oid, entry.score)
+    print(result.stats["simulated_seconds"])
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.centralized import CentralizedSPQ, dataset_extent
+from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob, _SPQJobBase
+from repro.exceptions import InvalidQueryError
+from repro.mapreduce.cluster import SimulatedCluster, paper_cluster
+from repro.mapreduce.costmodel import CostModel, CostParameters
+from repro.mapreduce.runtime import JobResult, LocalJobRunner
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import UniformGrid
+
+#: Names accepted by :meth:`SPQEngine.execute`.
+ALGORITHMS = ("pspq", "espq-len", "espq-sco", "centralized")
+
+_JOB_CLASSES = {
+    "pspq": PSPQJob,
+    "espq-len": ESPQLenJob,
+    "espq-sco": ESPQScoJob,
+}
+
+
+@dataclass
+class EngineConfig:
+    """Execution configuration of the engine.
+
+    Attributes:
+        grid_size: Default number of grid cells per axis (the paper's "grid
+            size"); can be overridden per query.
+        cluster: Simulated cluster used by the cost model; defaults to the
+            paper's 16-node cluster.
+        cost_parameters: Per-unit costs of the cost model.
+        max_workers: Thread parallelism of the local job runner.
+        pad_with_zero_scores: When True, the merged result is padded with
+            arbitrary unreported data objects at score 0.0 so that exactly
+            ``k`` entries are returned even when fewer than ``k`` data objects
+            have a positive score (the centralized oracle naturally does
+            this; the distributed algorithms, like the paper's, only report
+            positively scored objects).
+    """
+
+    grid_size: int = 50
+    cluster: SimulatedCluster = field(default_factory=paper_cluster)
+    cost_parameters: CostParameters = field(default_factory=CostParameters)
+    max_workers: int = 1
+    pad_with_zero_scores: bool = False
+
+
+class SPQEngine:
+    """Evaluate spatial preference queries using keywords over in-memory datasets."""
+
+    def __init__(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        config: Optional[EngineConfig] = None,
+        extent: Optional[BoundingBox] = None,
+    ) -> None:
+        self.data_objects = list(data_objects)
+        self.feature_objects = list(feature_objects)
+        self.config = config or EngineConfig()
+        self._extent = extent
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def extent(self) -> BoundingBox:
+        """Bounding box of both datasets (computed lazily and cached)."""
+        if self._extent is None:
+            self._extent = dataset_extent(self.data_objects, self.feature_objects)
+        return self._extent
+
+    def build_grid(self, grid_size: Optional[int] = None) -> UniformGrid:
+        """Query-time grid over the dataset extent (``grid_size`` cells per axis)."""
+        size = grid_size or self.config.grid_size
+        return UniformGrid.square(self.extent, size)
+
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        query: SpatialPreferenceQuery,
+        algorithm: str = "espq-sco",
+        grid_size: Optional[int] = None,
+        score_mode: str = "range",
+    ) -> QueryResult:
+        """Run a query with the chosen algorithm and return the global top-k.
+
+        Args:
+            query: The query ``q(k, r, W)``.
+            algorithm: One of ``"pspq"``, ``"espq-len"``, ``"espq-sco"`` or
+                ``"centralized"``.
+            grid_size: Cells per axis for this query (defaults to the engine
+                configuration); ignored by the centralized algorithm.
+            score_mode: ``"range"`` (the paper's score, default) or
+                ``"influence"`` / ``"nearest"`` extension variants.  The
+                distributed early-termination algorithms support only
+                ``"range"``; ``"influence"`` is additionally supported by
+                ``"pspq"`` and all variants by ``"centralized"``.
+
+        Raises:
+            InvalidQueryError: for an unknown algorithm name or an unsupported
+                algorithm / score-mode combination.
+        """
+        if algorithm not in ALGORITHMS:
+            raise InvalidQueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if algorithm == "centralized":
+            oracle = CentralizedSPQ(self.data_objects, self.feature_objects)
+            if score_mode == "range":
+                return oracle.evaluate(query)
+            return oracle.evaluate_exhaustive(query, mode=score_mode)
+        if score_mode != "range" and algorithm != "pspq":
+            raise InvalidQueryError(
+                f"algorithm {algorithm!r} supports only the 'range' score mode"
+            )
+        if score_mode == "nearest":
+            raise InvalidQueryError(
+                "the 'nearest' score mode is only available with algorithm='centralized'"
+            )
+        return self._execute_mapreduce(query, algorithm, grid_size, score_mode)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute_mapreduce(
+        self,
+        query: SpatialPreferenceQuery,
+        algorithm: str,
+        grid_size: Optional[int],
+        score_mode: str = "range",
+    ) -> QueryResult:
+        grid = self.build_grid(grid_size)
+        job_class = _JOB_CLASSES[algorithm]
+        if algorithm == "pspq":
+            job: _SPQJobBase = job_class(query, grid, score_mode=score_mode)
+        else:
+            job = job_class(query, grid)
+
+        runner = LocalJobRunner(
+            num_reducers=grid.num_cells, max_workers=self.config.max_workers
+        )
+        started = time.perf_counter()
+        job_result = runner.run(job, self._input_records())
+        elapsed = time.perf_counter() - started
+
+        entries = self._merge(job_result, query)
+        if self.config.pad_with_zero_scores and len(entries) < query.k:
+            entries = self._pad(entries, query.k)
+
+        cost_model = CostModel(self.config.cluster, self.config.cost_parameters)
+        breakdown = cost_model.estimate(job_result)
+
+        stats: Dict[str, object] = {
+            "algorithm": job.name,
+            "grid_size": grid.cells_x,
+            "num_cells": grid.num_cells,
+            "wall_seconds": elapsed,
+            "simulated_seconds": breakdown.total,
+            "simulated_breakdown": breakdown.as_dict(),
+            "counters": job_result.counters.as_dict(),
+            "num_map_tasks": job_result.num_map_tasks,
+            "num_reduce_tasks": job_result.num_reduce_tasks,
+            "shuffled_records": job_result.total_shuffle_records(),
+            "shuffled_bytes": job_result.total_shuffle_bytes(),
+            "features_examined": job_result.counters.get("work", "features_examined"),
+            "score_computations": job_result.counters.get("work", "score_computations"),
+            "feature_duplicates": job_result.counters.get("spq", "feature_duplicates"),
+            "features_pruned": job_result.counters.get("spq", "features_pruned"),
+        }
+        return QueryResult(entries, stats=stats)
+
+    def _input_records(self) -> Iterable:
+        """The horizontally partitioned input: all objects, in storage order."""
+        yield from self.data_objects
+        yield from self.feature_objects
+
+    def _merge(self, job_result: JobResult, query: SpatialPreferenceQuery) -> List[ScoredObject]:
+        """Merge per-cell outputs ``(cell_id, object_id, score)`` into the global top-k."""
+        index = {obj.oid: obj for obj in self.data_objects}
+        by_cell: Dict[int, List[ScoredObject]] = {}
+        for cell_id, oid, score in job_result.outputs:
+            obj = index.get(oid, DataObject(oid=oid, x=0.0, y=0.0))
+            by_cell.setdefault(cell_id, []).append(ScoredObject(obj, score))
+        return merge_top_k(by_cell.values(), query.k)
+
+    def _pad(self, entries: List[ScoredObject], k: int) -> List[ScoredObject]:
+        present = {entry.obj.oid for entry in entries}
+        padded = list(entries)
+        for obj in self.data_objects:
+            if len(padded) >= k:
+                break
+            if obj.oid not in present:
+                padded.append(ScoredObject(obj, 0.0))
+        return padded

@@ -1,0 +1,297 @@
+"""The paper's three algorithms expressed as MapReduce jobs.
+
+All three jobs share the same structure (single MapReduce job, Section 4.2):
+
+* **Map**: assign each object to its enclosing grid cell; drop feature objects
+  with no common keyword with the query (the pruning rule); duplicate feature
+  objects into every neighbouring cell with ``MINDIST <= r`` (Lemma 1); emit
+  records under a composite key ``(cell_id, secondary)``.
+* **Partition**: by cell id only, so every object of a cell reaches the same
+  reducer (the paper's custom Partitioner).
+* **Sort**: by the composite key, so data objects precede feature objects and
+  feature objects arrive in the algorithm-specific order (the paper's custom
+  Comparator).
+* **Group**: by cell id, so one reduce call processes one cell.
+* **Reduce**: load the cell's data objects in memory and scan feature objects
+  in order, maintaining the top-k list; the two eSPQ variants stop early.
+
+Reduce output records are ``(cell_id, object_id, score)`` triples; the engine
+merges the per-cell top-k lists into the global top-k.
+
+Work counters (group ``"work"``) recorded by the reducers:
+
+* ``features_examined``  -- feature objects actually read before termination,
+* ``score_computations`` -- data-feature distance/score evaluations,
+which the cluster cost model converts into simulated reduce time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Tuple
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+from repro.core.scoring import feature_contribution
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.model.result import TopKList
+from repro.spatial.grid import UniformGrid
+from repro.spatial.partitioning import GridPartitioner
+from repro.text.similarity import non_spatial_score, upper_bound_for_length
+
+#: Tag values of the pSPQ composite key: data objects sort before features.
+TAG_DATA = 0
+TAG_FEATURE = 1
+
+#: Work-counter names.
+WORK_GROUP = "work"
+FEATURES_EXAMINED = "features_examined"
+SCORE_COMPUTATIONS = "score_computations"
+
+#: Informational counters (group ``"spq"``).
+SPQ_GROUP = "spq"
+FEATURES_PRUNED = "features_pruned"
+FEATURE_DUPLICATES = "feature_duplicates"
+DATA_OBJECTS = "data_objects"
+FEATURES_KEPT = "features_kept"
+EARLY_TERMINATIONS = "early_terminations"
+
+
+class _SPQJobBase(MapReduceJob):
+    """Shared map-side logic of the three SPQ jobs.
+
+    Args:
+        query: The query ``q(k, r, W)``.
+        grid: Query-time uniform grid (one cell per reduce task).
+        prune_irrelevant: When True (the default, and what the paper does),
+            feature objects sharing no keyword with the query are dropped in
+            the map phase.  Setting it to False keeps them, which is only
+            useful for the ablation benchmark quantifying the value of the
+            pruning rule -- the query result is unaffected either way.
+    """
+
+    def __init__(
+        self,
+        query: SpatialPreferenceQuery,
+        grid: UniformGrid,
+        prune_irrelevant: bool = True,
+    ) -> None:
+        self.query = query
+        self.grid = grid
+        self.prune_irrelevant = prune_irrelevant
+        self.partitioner = GridPartitioner(grid, query.radius)
+
+    # -------------------------------------------------------------- #
+    # map side
+
+    def map(self, record: Any, counters: Counters) -> Iterable[Tuple[Any, Any]]:
+        if isinstance(record, DataObject):
+            counters.increment(SPQ_GROUP, DATA_OBJECTS)
+            cell_id = self.partitioner.assign_data_object(record)
+            yield self._data_key(cell_id), record
+            return
+        if not isinstance(record, FeatureObject):
+            raise TypeError(f"unsupported input record type: {type(record)!r}")
+        if self.prune_irrelevant and not record.has_common_keyword(self.query.keywords):
+            # Pruning rule (Algorithm 1, line 9): irrelevant features cannot
+            # contribute to any score and are never shuffled.
+            counters.increment(SPQ_GROUP, FEATURES_PRUNED)
+            return
+        counters.increment(SPQ_GROUP, FEATURES_KEPT)
+        cells = self.partitioner.assign_feature_object(record)
+        counters.increment(SPQ_GROUP, FEATURE_DUPLICATES, len(cells) - 1)
+        for cell_id in cells:
+            yield self._feature_key(cell_id, record), self._feature_value(record)
+
+    def _data_key(self, cell_id: int) -> Tuple:
+        raise NotImplementedError
+
+    def _feature_key(self, cell_id: int, feature: FeatureObject) -> Tuple:
+        raise NotImplementedError
+
+    def _feature_value(self, feature: FeatureObject) -> Any:
+        return feature
+
+    # -------------------------------------------------------------- #
+    # routing: partition and group on the cell id only
+
+    def partition(self, key: Tuple, num_reducers: int) -> int:
+        return (key[0] - 1) % num_reducers
+
+    def group_key(self, key: Tuple) -> int:
+        return key[0]
+
+    def sort_key(self, key: Tuple) -> Tuple:
+        return key
+
+    def estimated_record_size(self, key: Any, value: Any) -> int:
+        # Text-serialized record size: coordinates plus keywords for features.
+        if isinstance(value, tuple):
+            value = value[0]
+        if isinstance(value, FeatureObject):
+            return 24 + sum(len(word) + 1 for word in value.keywords)
+        return 24
+
+
+class PSPQJob(_SPQJobBase):
+    """pSPQ (Section 4): grid partitioning, exhaustive per-cell nested loop.
+
+    In addition to the paper's range score, this job supports the truncated
+    *influence* score variant (see :mod:`repro.core.scoring`): the map side is
+    unchanged (Lemma 1 only depends on the radius cutoff), and in the reduce
+    side the textual score ``w(f, q)`` is still a valid upper bound on any
+    feature's contribution, so the threshold check of Algorithm 2 remains
+    correct.  The early-termination jobs are defined for the range score only,
+    as in the paper.
+    """
+
+    name = "pSPQ"
+
+    def __init__(
+        self,
+        query: SpatialPreferenceQuery,
+        grid: UniformGrid,
+        prune_irrelevant: bool = True,
+        score_mode: str = "range",
+    ) -> None:
+        super().__init__(query, grid, prune_irrelevant=prune_irrelevant)
+        if score_mode not in ("range", "influence"):
+            raise ValueError(
+                f"pSPQ supports score modes 'range' and 'influence', got {score_mode!r}"
+            )
+        self.score_mode = score_mode
+
+    def _data_key(self, cell_id: int) -> Tuple:
+        return (cell_id, TAG_DATA)
+
+    def _feature_key(self, cell_id: int, feature: FeatureObject) -> Tuple:
+        return (cell_id, TAG_FEATURE)
+
+    def reduce(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        data_objects: List[DataObject] = []
+        top = TopKList(self.query.k)
+        for value in values:
+            if isinstance(value, DataObject):
+                data_objects.append(value)
+                continue
+            feature: FeatureObject = value
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            score = non_spatial_score(feature.keywords, self.query.keywords)
+            if score <= top.threshold:
+                # The feature cannot improve the current top-k; skip the
+                # nested loop (Algorithm 2, line 9) but keep reading input.
+                continue
+            for obj in data_objects:
+                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
+                contribution = feature_contribution(obj, feature, self.query, self.score_mode)
+                if contribution > 0.0:
+                    top.offer(obj, contribution)
+        return [(group, entry.obj.oid, entry.score) for entry in top.top()]
+
+
+class ESPQLenJob(_SPQJobBase):
+    """eSPQlen (Section 5.1): features sorted by increasing keyword count.
+
+    The reducer stops as soon as the length-based upper bound ``w̄(f, q)``
+    (Equation 1) of the next feature cannot exceed the current threshold
+    ``tau`` (Lemma 2).
+    """
+
+    name = "eSPQlen"
+
+    def _data_key(self, cell_id: int) -> Tuple:
+        return (cell_id, 0)
+
+    def _feature_key(self, cell_id: int, feature: FeatureObject) -> Tuple:
+        return (cell_id, feature.keyword_count)
+
+    def reduce(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        data_objects: List[DataObject] = []
+        top = TopKList(self.query.k)
+        query_len = self.query.keyword_count
+        for value in values:
+            if isinstance(value, DataObject):
+                data_objects.append(value)
+                continue
+            feature: FeatureObject = value
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            bound = upper_bound_for_length(feature.keyword_count, query_len)
+            tau = top.threshold
+            if len(top) >= self.query.k and tau >= bound:
+                # Lemma 2: no remaining feature (all at least this long) can
+                # improve the k-th best score.
+                counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                break
+            score = non_spatial_score(feature.keywords, self.query.keywords)
+            if score <= tau:
+                continue
+            for obj in data_objects:
+                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
+                if obj.distance_to(feature) <= self.query.radius:
+                    top.offer(obj, score)
+        return [(group, entry.obj.oid, entry.score) for entry in top.top()]
+
+
+class ESPQScoJob(_SPQJobBase):
+    """eSPQsco (Section 5.2): features sorted by decreasing Jaccard score.
+
+    The map phase computes ``w(f, q)`` and embeds it in the composite key; the
+    reducer reports data objects as soon as they are found within distance
+    ``r`` of a feature, and stops after ``k`` objects have been reported
+    (Lemma 3).
+    """
+
+    name = "eSPQsco"
+
+    #: Secondary-key value for data objects: strictly above any Jaccard score
+    #: so that, under the descending sort, data objects come first.
+    DATA_SORT_VALUE = 2.0
+
+    def _data_key(self, cell_id: int) -> Tuple:
+        return (cell_id, self.DATA_SORT_VALUE)
+
+    def _feature_key(self, cell_id: int, feature: FeatureObject) -> Tuple:
+        return (cell_id, non_spatial_score(feature.keywords, self.query.keywords))
+
+    def _feature_value(self, feature: FeatureObject) -> Any:
+        # Carry the map-side score so the reducer does not recompute it.
+        return (feature, non_spatial_score(feature.keywords, self.query.keywords))
+
+    def sort_key(self, key: Tuple) -> Tuple:
+        # Descending order of the secondary component: data objects (2.0)
+        # first, then features from highest to lowest score.
+        return (key[0], -key[1])
+
+    def reduce(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        data_objects: List[DataObject] = []
+        reported: List[Tuple[int, str, float]] = []
+        reported_ids: set = set()
+        for value in values:
+            if isinstance(value, DataObject):
+                data_objects.append(value)
+                continue
+            feature, score = value
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            if score <= 0.0:
+                # Scores are sorted descending: nothing below can contribute.
+                counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                break
+            for obj in data_objects:
+                if obj.oid in reported_ids:
+                    continue
+                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
+                if obj.distance_to(feature) <= self.query.radius:
+                    # Lemma 3: the feature currently examined has the highest
+                    # score among all unseen features, so tau(obj) == score.
+                    reported.append((group, obj.oid, score))
+                    reported_ids.add(obj.oid)
+                    if len(reported) >= self.query.k:
+                        counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                        return reported
+        return reported

@@ -1,0 +1,109 @@
+"""Scoring primitives: ``tau(p)``, exhaustive ranking and score variants.
+
+``tau(p) = max { w(f, q) : f in F, dist(p, f) <= r }`` (Definition 2).  A data
+object with no feature object inside its ``r``-neighbourhood, or only features
+with zero textual relevance, has score 0 -- it can still appear in the top-k
+when fewer than ``k`` objects have positive scores, which matches the paper's
+definition (every data object is a potential result).
+
+Besides the paper's *range* score, this module implements the two additional
+spatial preference score variants from the centralized lineage work the paper
+builds on (Yiu et al., Tsatsanifos & Vlachou): the *influence* score, where a
+feature's contribution decays exponentially with its distance
+(``w(f,q) * 2^(-dist(p,f)/r)``), and the *nearest-neighbour* score, where only
+the feature closest to ``p`` determines the score.  They are exposed as
+engine extensions (see :class:`repro.core.engine.SPQEngine`); the distributed
+early-termination algorithms of the paper are defined for the range score
+only, while ``pSPQ`` remains applicable to all three (its threshold check uses
+``w(f, q)``, an upper bound on every variant's contribution).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.model.result import ScoredObject
+from repro.text.similarity import non_spatial_score
+
+#: Supported score variants.
+SCORE_MODES = ("range", "influence", "nearest")
+
+
+def feature_contribution(
+    obj: DataObject,
+    feature: FeatureObject,
+    query: SpatialPreferenceQuery,
+    mode: str = "range",
+) -> float:
+    """Contribution of a single feature object to ``tau(obj)`` under a variant.
+
+    * ``"range"``     -- ``w(f, q)`` if ``dist <= r`` else 0 (the paper).
+    * ``"influence"`` -- ``w(f, q) * 2^(-dist / r)`` if ``dist <= r`` else 0
+      (truncated influence: the exponential decay of the classic influence
+      score, cut off at the query radius so the grid partitioning of Lemma 1
+      remains exact for the distributed algorithms).
+    * ``"nearest"``   -- handled by :func:`compute_score` (needs the arg-min
+      over all features); per-feature it equals the range contribution.
+
+    Raises:
+        ValueError: for an unknown mode or, for "influence", a zero radius.
+    """
+    if mode not in SCORE_MODES:
+        raise ValueError(f"unknown score mode {mode!r}; expected one of {SCORE_MODES}")
+    textual = non_spatial_score(feature.keywords, query.keywords)
+    if textual == 0.0:
+        return 0.0
+    distance = obj.distance_to(feature)
+    if distance > query.radius:
+        return 0.0
+    if mode == "influence":
+        if query.radius <= 0:
+            raise ValueError("influence score requires a positive radius")
+        return textual * 2.0 ** (-distance / query.radius)
+    return textual
+
+
+def compute_score(
+    obj: DataObject,
+    features: Iterable[FeatureObject],
+    query: SpatialPreferenceQuery,
+    mode: str = "range",
+) -> float:
+    """Exhaustively compute ``tau(obj)`` against the given feature objects."""
+    if mode == "nearest":
+        nearest = None
+        nearest_distance = float("inf")
+        for feature in features:
+            distance = obj.distance_to(feature)
+            if distance < nearest_distance:
+                nearest_distance = distance
+                nearest = feature
+        if nearest is None or nearest_distance > query.radius:
+            return 0.0
+        return non_spatial_score(nearest.keywords, query.keywords)
+    best = 0.0
+    for feature in features:
+        contribution = feature_contribution(obj, feature, query, mode)
+        if contribution > best:
+            best = contribution
+    return best
+
+
+def rank_objects(
+    data_objects: Sequence[DataObject],
+    features: Sequence[FeatureObject],
+    query: SpatialPreferenceQuery,
+    mode: str = "range",
+) -> List[ScoredObject]:
+    """Rank every data object by ``tau`` and return the global top-k.
+
+    This is the O(|O| * |F|) nested loop; it serves as the correctness oracle
+    for the distributed algorithms and as the per-cell computation of pSPQ.
+    """
+    scored = [
+        ScoredObject(obj, compute_score(obj, features, query, mode)) for obj in data_objects
+    ]
+    scored.sort()
+    return scored[: query.k]

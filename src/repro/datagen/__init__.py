@@ -1,0 +1,51 @@
+"""Dataset and query workload generation.
+
+The paper evaluates on two real datasets (Flickr, Twitter) and two synthetic
+ones (Uniform, Clustered).  The real datasets are not redistributable, so this
+package generates *statistically similar* stand-ins (see DESIGN.md for the
+substitution argument) alongside faithful implementations of the synthetic
+recipes:
+
+* :func:`generate_uniform` -- the UN dataset: uniform spatial positions,
+  feature keyword counts uniform in [10, 100] from a 1,000-word vocabulary.
+* :func:`generate_clustered` -- the CL dataset: 16 clusters at random
+  positions, same keyword model.
+* :func:`generate_flickr_like` / :func:`generate_twitter_like` -- FL/TW
+  stand-ins with the published keyword statistics and skewed spatial
+  distributions.
+* :class:`QueryWorkload` -- random query generation as in Section 7.1.
+"""
+
+from repro.datagen.synthetic import (
+    SyntheticDatasetConfig,
+    generate_clustered,
+    generate_uniform,
+    split_objects,
+)
+from repro.datagen.realistic import (
+    RealisticDatasetConfig,
+    generate_flickr_like,
+    generate_twitter_like,
+)
+from repro.datagen.queries import QueryWorkload
+from repro.datagen.io import (
+    load_dataset,
+    load_features,
+    load_objects,
+    save_dataset,
+)
+
+__all__ = [
+    "SyntheticDatasetConfig",
+    "generate_uniform",
+    "generate_clustered",
+    "split_objects",
+    "RealisticDatasetConfig",
+    "generate_flickr_like",
+    "generate_twitter_like",
+    "QueryWorkload",
+    "save_dataset",
+    "load_dataset",
+    "load_objects",
+    "load_features",
+]

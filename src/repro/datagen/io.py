@@ -1,0 +1,80 @@
+"""Dataset file IO in an HDFS-friendly text format.
+
+Each object is one tab-separated line (see ``DataObject.to_record`` /
+``FeatureObject.to_record``), mirroring how the paper's datasets are stored as
+flat files on HDFS and read line-by-line by map tasks.  Data and feature
+objects can live in the same file: feature records have four fields, data
+records three.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.exceptions import DatasetFormatError
+from repro.model.objects import DataObject, FeatureObject
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(
+    path: PathLike,
+    data_objects: Iterable[DataObject],
+    feature_objects: Iterable[FeatureObject],
+) -> int:
+    """Write both datasets into one text file; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for obj in data_objects:
+            handle.write(obj.to_record() + "\n")
+            count += 1
+        for feature in feature_objects:
+            handle.write(feature.to_record() + "\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, line_number: int) -> Union[DataObject, FeatureObject, None]:
+    stripped = line.rstrip("\n")
+    if not stripped or stripped.startswith("#"):
+        return None
+    fields = stripped.split("\t")
+    try:
+        if len(fields) == 3:
+            return DataObject.from_record(stripped)
+        if len(fields) == 4:
+            return FeatureObject.from_record(stripped)
+    except ValueError as exc:
+        raise DatasetFormatError(f"line {line_number}: {exc}") from exc
+    raise DatasetFormatError(
+        f"line {line_number}: expected 3 or 4 tab-separated fields, got {len(fields)}"
+    )
+
+
+def load_dataset(path: PathLike) -> Tuple[List[DataObject], List[FeatureObject]]:
+    """Read a mixed dataset file back into (data objects, feature objects)."""
+    data_objects: List[DataObject] = []
+    feature_objects: List[FeatureObject] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            parsed = _parse_line(line, line_number)
+            if parsed is None:
+                continue
+            if isinstance(parsed, DataObject):
+                data_objects.append(parsed)
+            else:
+                feature_objects.append(parsed)
+    return data_objects, feature_objects
+
+
+def load_objects(path: PathLike) -> List[DataObject]:
+    """Read only the data objects from a dataset file."""
+    return load_dataset(path)[0]
+
+
+def load_features(path: PathLike) -> List[FeatureObject]:
+    """Read only the feature objects from a dataset file."""
+    return load_dataset(path)[1]

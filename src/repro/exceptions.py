@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SPQ reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause,
+while still being able to discriminate between configuration problems,
+data-format problems and engine failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class InvalidQueryError(ReproError):
+    """A query was constructed with invalid parameters (k <= 0, r < 0, ...)."""
+
+
+class InvalidGridError(ReproError):
+    """A grid specification is invalid (non-positive cell count, bad extent)."""
+
+
+class DatasetFormatError(ReproError):
+    """A dataset file or record could not be parsed."""
+
+
+class JobConfigurationError(ReproError):
+    """A MapReduce job specification is incomplete or inconsistent."""
+
+
+class JobExecutionError(ReproError):
+    """A MapReduce job failed while executing a map or reduce task."""
+
+
+class ClusterConfigurationError(ReproError):
+    """A simulated cluster was configured with invalid resources."""
+
+
+class HDFSError(ReproError):
+    """An error in the simulated HDFS layer (missing file, bad block size)."""
+
+
+class AnalysisError(ReproError):
+    """A theoretical-analysis helper received parameters outside its domain."""

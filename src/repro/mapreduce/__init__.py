@@ -1,0 +1,48 @@
+"""A from-scratch, in-process MapReduce engine with an HDFS-style storage model.
+
+The paper implements its algorithms as single Hadoop MapReduce jobs that rely
+on three framework hooks (Section 2.1):
+
+* key-value records with *composite keys*,
+* a custom ``Partitioner`` that routes map output to reducers based on part of
+  the key (the grid cell id), and
+* a custom sort ``Comparator`` that orders the values seen by each reducer
+  (data objects before feature objects; feature objects by keyword length or
+  by decreasing score).
+
+This package reproduces those hooks faithfully so the three SPQ algorithms can
+be expressed exactly as in the paper, and adds a simulated HDFS + cluster so
+experiments can report a *simulated job execution time* with the same shape as
+the paper's wall-clock measurements.
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioner import (
+    FieldPartitioner,
+    HashPartitioner,
+    Partitioner,
+)
+from repro.mapreduce.runtime import JobResult, LocalJobRunner, ReduceTaskReport
+from repro.mapreduce.hdfs import HDFS, HDFSFile, Block, DataNode
+from repro.mapreduce.cluster import ClusterNode, SimulatedCluster
+from repro.mapreduce.costmodel import CostModel, CostParameters
+
+__all__ = [
+    "MapReduceJob",
+    "Counters",
+    "Partitioner",
+    "HashPartitioner",
+    "FieldPartitioner",
+    "LocalJobRunner",
+    "JobResult",
+    "ReduceTaskReport",
+    "HDFS",
+    "HDFSFile",
+    "Block",
+    "DataNode",
+    "SimulatedCluster",
+    "ClusterNode",
+    "CostModel",
+    "CostParameters",
+]

@@ -1,0 +1,275 @@
+"""Local execution engine for MapReduce jobs.
+
+:class:`LocalJobRunner` runs a :class:`~repro.mapreduce.job.MapReduceJob`
+in-process, faithfully reproducing the Hadoop execution model the paper relies
+on:
+
+1. the input is divided into *map tasks* (splits);
+2. each map task applies the job's ``map`` to its records and partitions the
+   emitted key-value pairs by the job's ``partition`` hook;
+3. each reduce partition is sorted by the job's ``sort_key`` (secondary sort /
+   custom comparator) with a stable tie-break;
+4. sorted records are grouped by ``group_key`` and fed to ``reduce`` as a lazy
+   iterator, so a reducer that stops reading values performs *early
+   termination* and the engine records exactly how many values it consumed.
+
+The runner collects global counters and a per-reduce-task report that the
+cluster cost model converts into simulated job time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JobConfigurationError, JobExecutionError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+
+
+@dataclass
+class ReduceTaskReport:
+    """Execution statistics of one reduce task (== one grid cell in SPQ jobs)."""
+
+    task_index: int
+    num_groups: int = 0
+    input_records: int = 0
+    consumed_records: int = 0
+    output_records: int = 0
+    shuffle_bytes: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    def work_units(self) -> int:
+        """Algorithm-reported work (counters in group ``"work"``), if any.
+
+        Falls back to the number of consumed records so that jobs that do not
+        report explicit work units still get a sensible cost.
+        """
+        work_group = self.counters.group("work")
+        if work_group:
+            return sum(work_group.values())
+        return self.consumed_records
+
+
+@dataclass
+class JobResult:
+    """Everything produced by a job run: outputs, counters and task reports."""
+
+    job_name: str
+    outputs: List[Any]
+    counters: Counters
+    reduce_reports: List[ReduceTaskReport]
+    num_map_tasks: int
+    num_reduce_tasks: int
+
+    def reduce_report(self, task_index: int) -> ReduceTaskReport:
+        """Report of a specific reduce task."""
+        return self.reduce_reports[task_index]
+
+    def total_shuffle_records(self) -> int:
+        return self.counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
+
+    def total_shuffle_bytes(self) -> int:
+        return self.counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_BYTES)
+
+
+class _ConsumptionTrackingIterator:
+    """Wraps a value iterator and counts how many items the reducer pulled."""
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        self._values = values
+        self._position = 0
+
+    def __iter__(self) -> "_ConsumptionTrackingIterator":
+        return self
+
+    def __next__(self) -> Any:
+        if self._position >= len(self._values):
+            raise StopIteration
+        value = self._values[self._position]
+        self._position += 1
+        return value
+
+    @property
+    def consumed(self) -> int:
+        return self._position
+
+
+class LocalJobRunner:
+    """Runs MapReduce jobs in-process.
+
+    Args:
+        num_reducers: Number of reduce tasks (``R``). For the SPQ jobs this is
+            set to the number of grid cells, as in the paper's experiments.
+        split_size: Number of input records per map task; controls the number
+            of map tasks only (the map logic is record-at-a-time).
+        max_workers: If greater than 1, reduce tasks are executed by a thread
+            pool.  The default (1) runs everything serially, which is fully
+            deterministic and is what the tests use.
+    """
+
+    def __init__(
+        self,
+        num_reducers: int,
+        split_size: int = 10_000,
+        max_workers: int = 1,
+    ) -> None:
+        if num_reducers < 1:
+            raise JobConfigurationError(f"num_reducers must be >= 1, got {num_reducers}")
+        if split_size < 1:
+            raise JobConfigurationError(f"split_size must be >= 1, got {split_size}")
+        if max_workers < 1:
+            raise JobConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.num_reducers = num_reducers
+        self.split_size = split_size
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, job: MapReduceJob, records: Iterable[Any]) -> JobResult:
+        """Execute ``job`` over ``records`` and return the full result."""
+        counters = Counters()
+        job.setup(counters)
+
+        partitions, num_map_tasks = self._run_map_phase(job, records, counters)
+        self._sort_partitions(job, partitions)
+        outputs, reports = self._run_reduce_phase(job, partitions, counters)
+
+        job.cleanup(counters)
+        return JobResult(
+            job_name=job.name,
+            outputs=outputs,
+            counters=counters,
+            reduce_reports=reports,
+            num_map_tasks=num_map_tasks,
+            num_reduce_tasks=self.num_reducers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # map + shuffle
+
+    def _run_map_phase(
+        self, job: MapReduceJob, records: Iterable[Any], counters: Counters
+    ) -> Tuple[List[List[Tuple[Any, int, Any, Any]]], int]:
+        """Apply map to every record and bucket the output by reduce partition.
+
+        Each bucket entry is ``(sort_key, sequence, key, value)``; the sequence
+        number provides a stable tie-break so sorting is deterministic even
+        when sort keys collide.
+        """
+        partitions: List[List[Tuple[Any, int, Any, Any]]] = [
+            [] for _ in range(self.num_reducers)
+        ]
+        sequence = itertools.count()
+        num_records = 0
+        num_map_tasks = 0
+        current_split = 0
+
+        for record in records:
+            if current_split == 0:
+                num_map_tasks += 1
+                current_split = self.split_size
+            current_split -= 1
+            num_records += 1
+            try:
+                emitted = job.map(record, counters)
+            except Exception as exc:  # pragma: no cover - defensive re-raise
+                raise JobExecutionError(f"map failed on record {record!r}: {exc}") from exc
+            for key, value in emitted:
+                partition = job.partition(key, self.num_reducers)
+                if not 0 <= partition < self.num_reducers:
+                    raise JobExecutionError(
+                        f"partition {partition} outside [0, {self.num_reducers}) for key {key!r}"
+                    )
+                partitions[partition].append((job.sort_key(key), next(sequence), key, value))
+                counters.increment(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
+                counters.increment(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
+                counters.increment(
+                    counter_names.GROUP_SHUFFLE,
+                    counter_names.SHUFFLE_BYTES,
+                    job.estimated_record_size(key, value),
+                )
+        counters.increment(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS, num_records)
+        return partitions, max(num_map_tasks, 1)
+
+    @staticmethod
+    def _sort_partitions(
+        job: MapReduceJob, partitions: List[List[Tuple[Any, int, Any, Any]]]
+    ) -> None:
+        for bucket in partitions:
+            bucket.sort(key=lambda entry: (entry[0], entry[1]))
+
+    # ------------------------------------------------------------------ #
+    # reduce
+
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: List[List[Tuple[Any, int, Any, Any]]],
+        counters: Counters,
+    ) -> Tuple[List[Any], List[ReduceTaskReport]]:
+        if self.max_workers == 1:
+            task_results = [
+                self._run_reduce_task(job, index, bucket)
+                for index, bucket in enumerate(partitions)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                task_results = list(
+                    pool.map(
+                        lambda pair: self._run_reduce_task(job, pair[0], pair[1]),
+                        enumerate(partitions),
+                    )
+                )
+
+        outputs: List[Any] = []
+        reports: List[ReduceTaskReport] = []
+        for task_outputs, report in task_results:
+            outputs.extend(task_outputs)
+            reports.append(report)
+            counters.merge(report.counters)
+            counters.increment(
+                counter_names.GROUP_REDUCE, counter_names.REDUCE_INPUT_GROUPS, report.num_groups
+            )
+            counters.increment(
+                counter_names.GROUP_REDUCE,
+                counter_names.REDUCE_INPUT_RECORDS,
+                report.input_records,
+            )
+            counters.increment(
+                counter_names.GROUP_REDUCE,
+                counter_names.REDUCE_CONSUMED_RECORDS,
+                report.consumed_records,
+            )
+            counters.increment(
+                counter_names.GROUP_REDUCE,
+                counter_names.REDUCE_OUTPUT_RECORDS,
+                report.output_records,
+            )
+        return outputs, reports
+
+    def _run_reduce_task(
+        self, job: MapReduceJob, task_index: int, bucket: List[Tuple[Any, int, Any, Any]]
+    ) -> Tuple[List[Any], ReduceTaskReport]:
+        report = ReduceTaskReport(task_index=task_index, input_records=len(bucket))
+        task_counters = report.counters
+        outputs: List[Any] = []
+
+        for group, entries in itertools.groupby(bucket, key=lambda entry: job.group_key(entry[2])):
+            values = [value for _, _, _, value in entries]
+            report.num_groups += 1
+            iterator = _ConsumptionTrackingIterator(values)
+            try:
+                produced = job.reduce(group, iterator, task_counters)
+                produced = list(produced) if produced is not None else []
+            except Exception as exc:  # pragma: no cover - defensive re-raise
+                raise JobExecutionError(
+                    f"reduce failed for group {group!r} in task {task_index}: {exc}"
+                ) from exc
+            report.consumed_records += iterator.consumed
+            report.output_records += len(produced)
+            outputs.extend(produced)
+        return outputs, report

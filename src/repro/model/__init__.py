@@ -1,0 +1,25 @@
+"""Data model for spatial preference queries using keywords.
+
+This package defines the object types from the paper's problem statement
+(Section 3.1):
+
+* :class:`DataObject`  -- a spatial object ``p`` in the object dataset ``O``.
+* :class:`FeatureObject` -- a spatio-textual object ``f`` in the feature
+  dataset ``F`` carrying a keyword set ``f.W``.
+* :class:`SpatialPreferenceQuery` -- the query ``q(k, r, W)``.
+* :class:`ScoredObject` and :class:`TopKList` -- result representation.
+"""
+
+from repro.model.objects import DataObject, FeatureObject, SpatialObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.model.result import QueryResult, ScoredObject, TopKList
+
+__all__ = [
+    "SpatialObject",
+    "DataObject",
+    "FeatureObject",
+    "SpatialPreferenceQuery",
+    "ScoredObject",
+    "TopKList",
+    "QueryResult",
+]

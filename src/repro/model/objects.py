@@ -1,0 +1,123 @@
+"""Spatial data objects and spatio-textual feature objects.
+
+The paper distinguishes two horizontally partitioned datasets (Section 3.1):
+
+* the *object dataset* ``O`` of data objects ``p`` described only by
+  coordinates ``(p.x, p.y)``; these are the objects that get ranked and
+  returned, and
+* the *feature dataset* ``F`` of feature objects ``f`` described by
+  coordinates and a keyword set ``f.W``; these determine the scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """Common base for objects positioned in the 2-d data space.
+
+    Attributes:
+        oid: Application-level identifier, unique within its dataset.
+        x: X coordinate.
+        y: Y coordinate.
+    """
+
+    oid: str
+    x: float
+    y: float
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        """Return the ``(x, y)`` coordinate pair."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "SpatialObject") -> float:
+        """Euclidean distance to another spatial object."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return (dx * dx + dy * dy) ** 0.5
+
+
+@dataclass(frozen=True)
+class DataObject(SpatialObject):
+    """A data object ``p`` in the object dataset ``O``.
+
+    Data objects carry no keywords; their score ``tau(p)`` is induced by the
+    feature objects within the query radius.
+    """
+
+    def to_record(self) -> str:
+        """Serialize to the on-disk text format (``id<TAB>x<TAB>y``)."""
+        return f"{self.oid}\t{self.x!r}\t{self.y!r}"
+
+    @classmethod
+    def from_record(cls, record: str) -> "DataObject":
+        """Parse a data object from its text record.
+
+        Raises:
+            ValueError: if the record does not have exactly three fields or
+                the coordinates are not numeric.
+        """
+        parts = record.rstrip("\n").split("\t")
+        if len(parts) != 3:
+            raise ValueError(f"malformed data-object record: {record!r}")
+        return cls(oid=parts[0], x=float(parts[1]), y=float(parts[2]))
+
+
+@dataclass(frozen=True)
+class FeatureObject(SpatialObject):
+    """A feature object ``f`` in the feature dataset ``F``.
+
+    Attributes:
+        keywords: The keyword set ``f.W`` (stored as a frozenset so feature
+            objects are hashable and can be safely deduplicated).
+    """
+
+    keywords: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        # Normalise whatever iterable the caller passed into a frozenset so
+        # equality and hashing behave consistently.
+        if not isinstance(self.keywords, frozenset):
+            object.__setattr__(self, "keywords", frozenset(self.keywords))
+
+    @property
+    def keyword_count(self) -> int:
+        """Number of keywords ``|f.W|``."""
+        return len(self.keywords)
+
+    def has_common_keyword(self, query_keywords: Iterable[str]) -> bool:
+        """Return True if ``f.W`` intersects the given keyword collection.
+
+        This is the map-side pruning rule of Algorithm 1 (line 9): feature
+        objects with no common keyword with the query cannot contribute to
+        any data object's score and are dropped before the shuffle.
+        """
+        keywords = self.keywords
+        return any(word in keywords for word in query_keywords)
+
+    def to_record(self) -> str:
+        """Serialize to the on-disk text format.
+
+        Format: ``id<TAB>x<TAB>y<TAB>kw1,kw2,...`` (keywords sorted for
+        deterministic output).
+        """
+        kw = ",".join(sorted(self.keywords))
+        return f"{self.oid}\t{self.x!r}\t{self.y!r}\t{kw}"
+
+    @classmethod
+    def from_record(cls, record: str) -> "FeatureObject":
+        """Parse a feature object from its text record.
+
+        Raises:
+            ValueError: if the record does not have exactly four fields or
+                the coordinates are not numeric.
+        """
+        parts = record.rstrip("\n").split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"malformed feature-object record: {record!r}")
+        keywords = frozenset(k for k in parts[3].split(",") if k)
+        return cls(oid=parts[0], x=float(parts[1]), y=float(parts[2]), keywords=keywords)

@@ -1,0 +1,101 @@
+"""Basic 2-d geometry: points, axis-aligned boxes and distances."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the 2-d data space."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def euclidean_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    The rectangle is closed on all sides; degenerate boxes (zero width or
+    height) are allowed.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"invalid bounding box: ({self.min_x}, {self.min_y}) - ({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if the point lies inside the box (boundaries included)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if the two boxes share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def min_distance(self, x: float, y: float) -> float:
+        """MINDIST from a point to this box: 0 if inside, else distance to the nearest edge.
+
+        This is the ``MINDIST(f, C)`` of Section 4.1 used to decide feature
+        duplication into neighbouring cells.
+        """
+        dx = 0.0
+        if x < self.min_x:
+            dx = self.min_x - x
+        elif x > self.max_x:
+            dx = x - self.max_x
+        dy = 0.0
+        if y < self.min_y:
+            dy = self.min_y - y
+        elif y > self.max_y:
+            dy = y - self.max_y
+        return math.hypot(dx, dy)
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Return a box enlarged by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )

@@ -1,0 +1,151 @@
+"""Regular uniform grid over the 2-d data space (paper Section 4.1).
+
+The grid is defined at query time, once the radius ``r`` is known.  It divides
+the dataset extent into ``cells_x * cells_y`` equal cells, identified by a
+single integer id (row-major, starting at 1 to match the paper's Figure 2
+numbering).  Each cell corresponds to one Reduce task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import InvalidGridError
+from repro.spatial.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid cell: its integer id, (col, row) position and bounding box."""
+
+    cell_id: int
+    col: int
+    row: int
+    box: BoundingBox
+
+
+class UniformGrid:
+    """A regular, uniform grid partitioning of a rectangular extent.
+
+    Args:
+        extent: Bounding box of the data space.
+        cells_x: Number of columns (``> 0``).
+        cells_y: Number of rows (``> 0``); defaults to ``cells_x`` for the
+            square grids used throughout the paper (e.g. "grid size 50"
+            means a 50x50 grid).
+    """
+
+    def __init__(self, extent: BoundingBox, cells_x: int, cells_y: int | None = None) -> None:
+        cells_y = cells_x if cells_y is None else cells_y
+        if cells_x < 1 or cells_y < 1:
+            raise InvalidGridError(f"grid must have >= 1 cell per axis, got {cells_x}x{cells_y}")
+        if extent.width <= 0 or extent.height <= 0:
+            raise InvalidGridError("grid extent must have positive width and height")
+        self.extent = extent
+        self.cells_x = cells_x
+        self.cells_y = cells_y
+        self.cell_width = extent.width / cells_x
+        self.cell_height = extent.height / cells_y
+
+    # ------------------------------------------------------------------ #
+    # identification
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells ``R`` (== number of Reduce tasks)."""
+        return self.cells_x * self.cells_y
+
+    def cell_id(self, col: int, row: int) -> int:
+        """Row-major cell id, starting at 1 (bottom-left cell is 1)."""
+        if not (0 <= col < self.cells_x and 0 <= row < self.cells_y):
+            raise InvalidGridError(f"cell ({col}, {row}) outside {self.cells_x}x{self.cells_y} grid")
+        return row * self.cells_x + col + 1
+
+    def cell_position(self, cell_id: int) -> Tuple[int, int]:
+        """Inverse of :meth:`cell_id`: return ``(col, row)``."""
+        if not (1 <= cell_id <= self.num_cells):
+            raise InvalidGridError(f"cell id {cell_id} outside grid with {self.num_cells} cells")
+        index = cell_id - 1
+        return (index % self.cells_x, index // self.cells_x)
+
+    def cell_box(self, cell_id: int) -> BoundingBox:
+        """Bounding box of the given cell."""
+        col, row = self.cell_position(cell_id)
+        min_x = self.extent.min_x + col * self.cell_width
+        min_y = self.extent.min_y + row * self.cell_height
+        return BoundingBox(min_x, min_y, min_x + self.cell_width, min_y + self.cell_height)
+
+    def cell(self, cell_id: int) -> GridCell:
+        """Full :class:`GridCell` record for a cell id."""
+        col, row = self.cell_position(cell_id)
+        return GridCell(cell_id=cell_id, col=col, row=row, box=self.cell_box(cell_id))
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate over every cell of the grid in id order."""
+        for cell_id in range(1, self.num_cells + 1):
+            yield self.cell(cell_id)
+
+    # ------------------------------------------------------------------ #
+    # point location
+
+    def locate(self, x: float, y: float) -> int:
+        """Id of the cell enclosing point ``(x, y)``.
+
+        Points exactly on the maximum boundary of the extent are clamped into
+        the last cell, and points slightly outside the extent are clamped to
+        the nearest boundary cell; this mirrors how partitioners in practice
+        must place every record somewhere.
+        """
+        col = int((x - self.extent.min_x) / self.cell_width)
+        row = int((y - self.extent.min_y) / self.cell_height)
+        col = min(max(col, 0), self.cells_x - 1)
+        row = min(max(row, 0), self.cells_y - 1)
+        return self.cell_id(col, row)
+
+    def min_distance(self, cell_id: int, x: float, y: float) -> float:
+        """``MINDIST`` between a point and a cell (0 if the point is inside)."""
+        return self.cell_box(cell_id).min_distance(x, y)
+
+    def neighbours_within(self, x: float, y: float, radius: float) -> List[int]:
+        """Ids of cells other than the enclosing one with ``MINDIST <= radius``.
+
+        This is the duplication rule of Lemma 1: a feature object at ``(x, y)``
+        must additionally be assigned to every returned cell.  Only cells in a
+        window of ``ceil(radius / cell_side)`` cells around the enclosing cell
+        can qualify, so the search is restricted to that window.
+        """
+        if radius < 0:
+            raise InvalidGridError(f"radius must be >= 0, got {radius}")
+        home = self.locate(x, y)
+        home_col, home_row = self.cell_position(home)
+        reach_x = int(radius / self.cell_width) + 1
+        reach_y = int(radius / self.cell_height) + 1
+        result: List[int] = []
+        for row in range(max(0, home_row - reach_y), min(self.cells_y, home_row + reach_y + 1)):
+            for col in range(max(0, home_col - reach_x), min(self.cells_x, home_col + reach_x + 1)):
+                cell_id = self.cell_id(col, row)
+                if cell_id == home:
+                    continue
+                if self.min_distance(cell_id, x, y) <= radius:
+                    result.append(cell_id)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # factory helpers
+
+    @classmethod
+    def square(cls, extent: BoundingBox, cells_per_side: int) -> "UniformGrid":
+        """A square ``n x n`` grid over ``extent`` (the paper's "grid size n")."""
+        return cls(extent, cells_per_side, cells_per_side)
+
+    @classmethod
+    def unit(cls, cells_per_side: int) -> "UniformGrid":
+        """A square grid over the normalised ``[0, 1] x [0, 1]`` space (Section 6.3)."""
+        return cls.square(BoundingBox(0.0, 0.0, 1.0, 1.0), cells_per_side)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"UniformGrid({self.cells_x}x{self.cells_y}, "
+            f"cell={self.cell_width:.4g}x{self.cell_height:.4g})"
+        )

@@ -1,0 +1,189 @@
+"""Grid-based re-partitioning with feature duplication (paper Section 4.1).
+
+:class:`GridPartitioner` maps every data object to its enclosing cell and every
+feature object to its enclosing cell *plus* each neighbouring cell within
+``MINDIST <= r`` (Lemma 1).  The module also implements the geometric analysis
+of Section 6.2 (Figure 3): classifying a feature object's position within its
+cell into the regions A1 (corner, 3 duplicates), A2 (two borders, 2
+duplicates), A3 (one border, 1 duplicate) and A4 (interior, no duplicates),
+plus the closed-form areas of those regions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import InvalidGridError
+from repro.model.objects import DataObject, FeatureObject
+from repro.spatial.grid import UniformGrid
+
+
+@dataclass
+class CellAssignment:
+    """All objects assigned to a single grid cell (one reduce work unit)."""
+
+    cell_id: int
+    data_objects: List[DataObject] = field(default_factory=list)
+    feature_objects: List[FeatureObject] = field(default_factory=list)
+
+    @property
+    def num_data(self) -> int:
+        return len(self.data_objects)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_objects)
+
+
+@dataclass(frozen=True)
+class PartitioningStats:
+    """Duplication statistics of a partitioning run.
+
+    Attributes:
+        num_data: Number of data objects partitioned.
+        num_features: Number of distinct feature objects partitioned (after
+            the keyword pruning rule, if one was applied by the caller).
+        num_feature_copies: Total feature-object copies emitted, including
+            the primary assignment (>= ``num_features``).
+        duplication_factor: ``num_feature_copies / num_features`` -- the
+            paper's ``df``; 1.0 when no feature was duplicated, and defined
+            as 1.0 for an empty feature set.
+    """
+
+    num_data: int
+    num_features: int
+    num_feature_copies: int
+
+    @property
+    def duplication_factor(self) -> float:
+        if self.num_features == 0:
+            return 1.0
+        return self.num_feature_copies / self.num_features
+
+
+class GridPartitioner:
+    """Re-partitions data and feature objects onto a uniform grid.
+
+    Args:
+        grid: The uniform grid defining the cells (one cell == one reducer).
+        radius: Query radius ``r`` driving feature duplication.
+    """
+
+    def __init__(self, grid: UniformGrid, radius: float) -> None:
+        if radius < 0:
+            raise InvalidGridError(f"radius must be >= 0, got {radius}")
+        self.grid = grid
+        self.radius = radius
+
+    # ------------------------------------------------------------------ #
+    # per-object assignment (the map-side logic)
+
+    def assign_data_object(self, obj: DataObject) -> int:
+        """Cell id of the single cell a data object belongs to."""
+        return self.grid.locate(obj.x, obj.y)
+
+    def assign_feature_object(self, obj: FeatureObject) -> List[int]:
+        """All cell ids a feature object must be sent to (primary cell first)."""
+        home = self.grid.locate(obj.x, obj.y)
+        return [home] + self.grid.neighbours_within(obj.x, obj.y, self.radius)
+
+    # ------------------------------------------------------------------ #
+    # whole-dataset partitioning (used by the centralized simulation path
+    # and by tests; the MapReduce jobs apply the same logic record-at-a-time)
+
+    def partition(
+        self,
+        data_objects: Iterable[DataObject],
+        feature_objects: Iterable[FeatureObject],
+    ) -> Tuple[Dict[int, CellAssignment], PartitioningStats]:
+        """Partition both datasets, returning per-cell assignments and stats."""
+        cells: Dict[int, CellAssignment] = {}
+        num_data = 0
+        num_features = 0
+        num_copies = 0
+
+        for obj in data_objects:
+            num_data += 1
+            cell_id = self.assign_data_object(obj)
+            cells.setdefault(cell_id, CellAssignment(cell_id)).data_objects.append(obj)
+
+        for obj in feature_objects:
+            num_features += 1
+            for cell_id in self.assign_feature_object(obj):
+                num_copies += 1
+                cells.setdefault(cell_id, CellAssignment(cell_id)).feature_objects.append(obj)
+
+        stats = PartitioningStats(
+            num_data=num_data, num_features=num_features, num_feature_copies=num_copies
+        )
+        return cells, stats
+
+
+# ---------------------------------------------------------------------- #
+# Section 6.2 geometry: the A1..A4 regions of a cell
+
+
+def duplication_regions(cell_side: float, radius: float) -> Dict[str, float]:
+    """Areas of the regions A1..A4 of a square cell (paper Section 6.2, Fig. 3).
+
+    * A1: within distance ``r`` of a cell corner -> 3 duplicates.
+    * A2: within ``r`` of two borders but not of a corner -> 2 duplicates.
+    * A3: within ``r`` of exactly one border -> 1 duplicate.
+    * A4: the interior -> no duplicates.
+
+    Requires ``radius <= cell_side / 2`` (the paper's standing assumption
+    ``a >= 2r``); outside that regime the closed forms no longer hold.
+
+    Returns a dict with keys ``"A1".."A4"`` and ``"total"``.
+
+    Raises:
+        AnalysisError-like ValueError: if the assumption is violated.
+    """
+    if cell_side <= 0:
+        raise ValueError(f"cell side must be > 0, got {cell_side}")
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius > cell_side / 2.0:
+        raise ValueError(
+            f"region formulas require radius <= cell_side / 2 (got r={radius}, a={cell_side})"
+        )
+    a1 = math.pi * radius * radius
+    a2 = (4.0 - math.pi) * radius * radius
+    a3 = 4.0 * (cell_side - 2.0 * radius) * radius
+    a4 = (cell_side - 2.0 * radius) ** 2
+    return {"A1": a1, "A2": a2, "A3": a3, "A4": a4, "total": cell_side * cell_side}
+
+
+def expected_duplicates_per_feature(cell_side: float, radius: float) -> float:
+    """Expected number of *extra* copies per uniformly placed feature object.
+
+    Under a uniform distribution the probability of falling in region Ai is
+    |Ai| / a^2, and the region determines the number of duplicates (3, 2, 1, 0).
+    """
+    regions = duplication_regions(cell_side, radius)
+    total = regions["total"]
+    return (3.0 * regions["A1"] + 2.0 * regions["A2"] + 1.0 * regions["A3"]) / total
+
+
+def classify_position(
+    cell_side: float, radius: float, offset_x: float, offset_y: float
+) -> str:
+    """Classify a position inside a cell into region A1, A2, A3 or A4.
+
+    ``offset_x`` / ``offset_y`` are the coordinates relative to the cell's
+    lower-left corner, both in ``[0, cell_side]``.
+    """
+    if not (0.0 <= offset_x <= cell_side and 0.0 <= offset_y <= cell_side):
+        raise ValueError("offset must lie inside the cell")
+    dx = min(offset_x, cell_side - offset_x)
+    dy = min(offset_y, cell_side - offset_y)
+    corner_dist = math.hypot(dx, dy)
+    if corner_dist <= radius:
+        return "A1"
+    if dx <= radius and dy <= radius:
+        return "A2"
+    if dx <= radius or dy <= radius:
+        return "A3"
+    return "A4"

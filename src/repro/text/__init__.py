@@ -1,0 +1,28 @@
+"""Textual-relevance substrate.
+
+Implements the non-spatial score of the paper (Definition 1, Jaccard
+similarity between the query keyword set and a feature object's keyword set)
+and the length-based upper bound used by the ``eSPQlen`` early-termination
+algorithm (Equation 1).
+"""
+
+from repro.text.similarity import (
+    jaccard,
+    jaccard_upper_bound,
+    non_spatial_score,
+    upper_bound_for_length,
+)
+from repro.text.tokenizer import normalize_keyword, tokenize
+from repro.text.vocabulary import Vocabulary
+from repro.text.inverted_index import InvertedIndex
+
+__all__ = [
+    "jaccard",
+    "non_spatial_score",
+    "jaccard_upper_bound",
+    "upper_bound_for_length",
+    "tokenize",
+    "normalize_keyword",
+    "Vocabulary",
+    "InvertedIndex",
+]

@@ -1,0 +1,78 @@
+"""Inverted keyword index over feature objects.
+
+Centralized spatio-textual systems (the related work the paper contrasts
+against) pair a spatial index with an inverted index: for each keyword, the
+list of feature objects containing it.  The index supports the two lookups
+the indexed baseline needs:
+
+* the union of posting lists for a query keyword set (the candidate features
+  that can have non-zero Jaccard score), and
+* candidate features ordered by their exact score against a query, which is
+  what ``eSPQsco`` achieves in a distributed way through its sort order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.model.objects import FeatureObject
+from repro.text.similarity import non_spatial_score
+
+
+class InvertedIndex:
+    """Keyword -> feature-object posting lists."""
+
+    def __init__(self, features: Iterable[FeatureObject] = ()) -> None:
+        self._postings: Dict[str, List[FeatureObject]] = defaultdict(list)
+        self._num_features = 0
+        for feature in features:
+            self.add(feature)
+
+    def add(self, feature: FeatureObject) -> None:
+        """Index one feature object under each of its keywords."""
+        self._num_features += 1
+        for keyword in feature.keywords:
+            self._postings[keyword].append(feature)
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._num_features
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed keywords."""
+        return len(self._postings)
+
+    def postings(self, keyword: str) -> List[FeatureObject]:
+        """Posting list of one keyword (empty list if unknown)."""
+        return list(self._postings.get(keyword, ()))
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of features containing ``keyword``."""
+        return len(self._postings.get(keyword, ()))
+
+    def candidates(self, keywords: Iterable[str]) -> Set[FeatureObject]:
+        """Features sharing at least one keyword with the query (non-zero Jaccard)."""
+        result: Set[FeatureObject] = set()
+        for keyword in keywords:
+            result.update(self._postings.get(keyword, ()))
+        return result
+
+    def scored_candidates(
+        self, keywords: Sequence[str] | Set[str]
+    ) -> List[Tuple[FeatureObject, float]]:
+        """Candidates with their exact Jaccard score, best first.
+
+        This is the centralized analogue of the ``eSPQsco`` reducer order:
+        processing candidates in this order allows terminating as soon as
+        enough data objects have been matched.
+        """
+        keyword_set = frozenset(keywords)
+        scored = [
+            (feature, non_spatial_score(feature.keywords, keyword_set))
+            for feature in self.candidates(keyword_set)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0].oid))
+        return scored

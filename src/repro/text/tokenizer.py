@@ -1,0 +1,50 @@
+"""Keyword extraction helpers.
+
+The paper's real datasets (Twitter, Flickr) carry keywords "extracted from the
+text" of tweets / image metadata.  This module provides the small amount of
+text processing needed to turn raw strings into keyword sets compatible with
+the Jaccard scoring: lower-casing, punctuation stripping and stop-word
+filtering.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, Optional, Set
+
+_TOKEN_RE = re.compile(r"[a-z0-9_#@']+")
+
+#: A small English stop-word list; enough to keep generated/real text from
+#: being dominated by function words.  Deliberately tiny and deterministic.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be but by for from has have i in is it its of on or
+    that the this to was were will with you your""".split()
+)
+
+
+def normalize_keyword(token: str) -> str:
+    """Lower-case and strip surrounding punctuation from a single token."""
+    return token.strip().lower().strip(".,;:!?\"'()[]{}")
+
+
+def tokenize(
+    text: str,
+    stopwords: Optional[Iterable[str]] = None,
+    min_length: int = 2,
+) -> FrozenSet[str]:
+    """Extract a keyword set from free text.
+
+    Args:
+        text: Raw text (tweet body, photo tags, ...).
+        stopwords: Words to drop; defaults to :data:`DEFAULT_STOPWORDS`.
+        min_length: Minimum keyword length kept (default 2 characters).
+
+    Returns:
+        A frozenset of normalised keywords.
+    """
+    stop: Set[str] = set(DEFAULT_STOPWORDS if stopwords is None else stopwords)
+    tokens = _TOKEN_RE.findall(text.lower())
+    return frozenset(
+        token for token in (normalize_keyword(t) for t in tokens)
+        if len(token) >= min_length and token not in stop
+    )

@@ -1,0 +1,103 @@
+"""Vocabulary: the keyword dictionary of a feature dataset.
+
+The experimental section of the paper reports dictionary sizes (88,706
+keywords for Twitter, 34,716 for Flickr, 1,000 for the synthetic datasets) and
+generates queries by picking random keywords from the vocabulary of the
+respective dataset.  :class:`Vocabulary` supports exactly those uses: building
+a dictionary from a feature dataset, inspecting keyword frequencies, and
+sampling query keywords (uniformly, by highest frequency or by lowest
+frequency -- the three strategies mentioned in Section 7.1).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.model.objects import FeatureObject
+
+
+class Vocabulary:
+    """Keyword dictionary with document frequencies."""
+
+    def __init__(self, frequencies: Optional[Dict[str, int]] = None) -> None:
+        self._frequencies: Counter = Counter(frequencies or {})
+
+    @classmethod
+    def from_features(cls, features: Iterable[FeatureObject]) -> "Vocabulary":
+        """Build the dictionary of all keywords appearing in a feature dataset."""
+        counter: Counter = Counter()
+        for feature in features:
+            counter.update(feature.keywords)
+        return cls(dict(counter))
+
+    @classmethod
+    def from_words(cls, words: Iterable[str]) -> "Vocabulary":
+        """Build a vocabulary from a plain word list (frequency 1 each unless repeated)."""
+        return cls(dict(Counter(words)))
+
+    def __len__(self) -> int:
+        return len(self._frequencies)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._frequencies
+
+    def frequency(self, word: str) -> int:
+        """Number of feature objects containing ``word`` (0 if unknown)."""
+        return self._frequencies.get(word, 0)
+
+    def words(self) -> List[str]:
+        """All distinct keywords, sorted for determinism."""
+        return sorted(self._frequencies)
+
+    def most_frequent(self, n: int) -> List[str]:
+        """The ``n`` most frequent keywords (ties broken alphabetically)."""
+        ordered = sorted(self._frequencies.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [word for word, _ in ordered[:n]]
+
+    def least_frequent(self, n: int) -> List[str]:
+        """The ``n`` least frequent keywords (ties broken alphabetically)."""
+        ordered = sorted(self._frequencies.items(), key=lambda kv: (kv[1], kv[0]))
+        return [word for word, _ in ordered[:n]]
+
+    def sample(
+        self,
+        n: int,
+        rng: Optional[random.Random] = None,
+        strategy: str = "random",
+    ) -> List[str]:
+        """Sample ``n`` query keywords.
+
+        Args:
+            n: Number of keywords to sample (capped at the vocabulary size).
+            rng: Random generator for reproducibility; a fresh one is created
+                when omitted.
+            strategy: ``"random"`` (uniform without replacement, the paper's
+                default query generation), ``"frequent"`` (most frequent
+                words) or ``"rare"`` (least frequent words).
+
+        Raises:
+            ValueError: for an unknown strategy or an empty vocabulary.
+        """
+        if not self._frequencies:
+            raise ValueError("cannot sample from an empty vocabulary")
+        n = min(n, len(self._frequencies))
+        if strategy == "frequent":
+            return self.most_frequent(n)
+        if strategy == "rare":
+            return self.least_frequent(n)
+        if strategy != "random":
+            raise ValueError(f"unknown sampling strategy: {strategy!r}")
+        rng = rng or random.Random()
+        return rng.sample(self.words(), n)
+
+    def merge(self, other: "Vocabulary") -> "Vocabulary":
+        """Return a new vocabulary combining the frequencies of both."""
+        merged = Counter(self._frequencies)
+        merged.update(other._frequencies)
+        return Vocabulary(dict(merged))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the underlying frequency table."""
+        return dict(self._frequencies)

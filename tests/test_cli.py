@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datagen.io import load_dataset
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "uniform", "--output", "x.tsv"]
+        )
+        assert args.objects == 10_000
+        assert args.dataset == "uniform"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "bogus", "--output", "x"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--input", "x", "--keywords", "a", "--algorithm", "bogus"]
+            )
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["uniform", "clustered", "flickr", "twitter"])
+    def test_generates_dataset_file(self, tmp_path, dataset, capsys):
+        output = tmp_path / f"{dataset}.tsv"
+        code = main([
+            "generate", "--dataset", dataset, "--objects", "200",
+            "--vocabulary-size", "300", "--output", str(output),
+        ])
+        assert code == 0
+        data, features = load_dataset(output)
+        assert len(data) == 100
+        assert len(features) == 100
+        assert "Wrote 200 records" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "400",
+              "--output", str(output)])
+        return output
+
+    def test_query_prints_topk_and_stats(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001,w0002,w0003",
+            "--k", "5", "--grid-size", "8", "--algorithm", "espq-sco",
+            "--radius-fraction", "0.25", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Query: top-5" in out
+        assert "simulated job time" in out
+
+    def test_query_with_absolute_radius(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001",
+            "--radius", "5.0", "--grid-size", "6", "--algorithm", "pspq",
+        ])
+        assert code == 0
+        assert "Query: top-10" in capsys.readouterr().out
+
+    def test_query_rejects_empty_keywords(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", ",", "--grid-size", "4",
+        ])
+        assert code == 2
+        assert "at least one keyword" in capsys.readouterr().err
+
+    def test_query_rejects_dataset_without_data_objects(self, tmp_path, capsys):
+        path = tmp_path / "features_only.tsv"
+        path.write_text("f1\t1.0\t2.0\titalian\n")
+        code = main(["query", "--input", str(path), "--keywords", "italian"])
+        assert code == 2
+        assert "no data objects" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_duplication_table(self, capsys):
+        code = main(["analyze", "duplication", "--cell-side", "10", "--radius", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duplication factor" in out
+        assert "1.9257" in out  # pi*(0.2)^2 + 4*0.2 + 1
+
+    def test_cell_size_table(self, capsys):
+        code = main(["analyze", "cell-size", "--radius-fraction", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reducer cost" in out
+        assert "1/2" in out and "1/64" in out
+
+
+class TestExperimentsCommand:
+    def test_single_figure(self, capsys):
+        code = main(["experiments", "--figure", "7", "--objects", "600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "grid size" in out
+        assert "espq-sco" in out

@@ -1,0 +1,92 @@
+"""Unit tests for the centralized oracle (exhaustive and grid-accelerated)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.centralized import CentralizedSPQ, dataset_extent
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+
+
+class TestDatasetExtent:
+    def test_extent_covers_all_points(self):
+        data = [DataObject("p1", -5.0, 2.0), DataObject("p2", 7.0, 9.0)]
+        features = [FeatureObject("f1", 0.0, -3.0, {"a"})]
+        extent = dataset_extent(data, features)
+        for obj in data + features:
+            assert extent.contains(obj.x, obj.y)
+
+    def test_empty_datasets_get_unit_extent(self):
+        extent = dataset_extent([], [])
+        assert extent.width > 0 and extent.height > 0
+
+    def test_degenerate_extent_is_padded(self):
+        data = [DataObject("p1", 1.0, 5.0), DataObject("p2", 1.0, 7.0)]
+        extent = dataset_extent(data, [])
+        assert extent.width > 0
+        assert extent.height > 0
+
+
+class TestCentralizedVariantsAgree:
+    def test_grid_variant_matches_exhaustive_on_random_data(self):
+        rng = random.Random(17)
+        data = [DataObject(f"p{i}", rng.uniform(0, 50), rng.uniform(0, 50)) for i in range(150)]
+        vocabulary = [f"w{i}" for i in range(20)]
+        features = [
+            FeatureObject(
+                f"f{i}",
+                rng.uniform(0, 50),
+                rng.uniform(0, 50),
+                frozenset(rng.sample(vocabulary, rng.randint(1, 6))),
+            )
+            for i in range(150)
+        ]
+        oracle = CentralizedSPQ(data, features)
+        for keywords in [{"w0"}, {"w1", "w2", "w3"}, {"w5", "w19"}]:
+            query = SpatialPreferenceQuery.create(k=7, radius=4.0, keywords=keywords)
+            exhaustive = oracle.evaluate_exhaustive(query)
+            accelerated = oracle.evaluate(query)
+            assert accelerated.scores() == pytest.approx(exhaustive.scores())
+
+    def test_grid_variant_with_explicit_bucket_size(self):
+        data = [DataObject("p", 1.0, 1.0)]
+        features = [FeatureObject("f", 1.5, 1.0, {"a"})]
+        query = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        result = CentralizedSPQ(data, features).evaluate(query, bucket_size=0.25)
+        assert result.scores() == [pytest.approx(1.0)]
+
+    def test_stats_report_algorithm_name(self):
+        oracle = CentralizedSPQ([], [])
+        query = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        assert oracle.evaluate(query).stats["algorithm"] == "centralized-grid"
+        assert (
+            oracle.evaluate_exhaustive(query).stats["algorithm"] == "centralized-exhaustive"
+        )
+
+    def test_grid_variant_examines_fewer_pairs(self):
+        rng = random.Random(3)
+        data = [DataObject(f"p{i}", rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(300)]
+        features = [
+            FeatureObject(f"f{i}", rng.uniform(0, 100), rng.uniform(0, 100), {"kw"})
+            for i in range(300)
+        ]
+        query = SpatialPreferenceQuery.create(k=5, radius=2.0, keywords={"kw"})
+        oracle = CentralizedSPQ(data, features)
+        exhaustive = oracle.evaluate_exhaustive(query)
+        accelerated = oracle.evaluate(query)
+        assert (
+            accelerated.stats["score_computations"] < exhaustive.stats["score_computations"]
+        )
+
+    def test_zero_score_objects_fill_topk(self):
+        """Every data object is a potential result: with no relevant feature
+        nearby the top-k is filled with zero-score objects."""
+        data = [DataObject(f"p{i}", float(i), 0.0) for i in range(5)]
+        features = [FeatureObject("f", 100.0, 100.0, {"a"})]
+        query = SpatialPreferenceQuery.create(k=3, radius=1.0, keywords={"a"})
+        result = CentralizedSPQ(data, features).evaluate_exhaustive(query)
+        assert len(result) == 3
+        assert result.scores() == [0.0, 0.0, 0.0]

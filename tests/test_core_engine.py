@@ -1,0 +1,122 @@
+"""Unit/integration tests for the SPQEngine public API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.centralized import CentralizedSPQ
+from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.exceptions import InvalidQueryError
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.text.vocabulary import Vocabulary
+
+
+class TestEngineBasics:
+    def test_unknown_algorithm_rejected(self, paper_data_objects, paper_feature_objects, paper_query):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        with pytest.raises(InvalidQueryError):
+            engine.execute(paper_query, algorithm="does-not-exist")
+
+    def test_algorithms_constant_lists_all_variants(self):
+        assert set(ALGORITHMS) == {"pspq", "espq-len", "espq-sco", "centralized"}
+
+    def test_extent_is_cached(self, paper_data_objects, paper_feature_objects):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        assert engine.extent is engine.extent
+
+    def test_build_grid_uses_config_default(self, paper_data_objects, paper_feature_objects):
+        engine = SPQEngine(
+            paper_data_objects, paper_feature_objects, config=EngineConfig(grid_size=8)
+        )
+        assert engine.build_grid().cells_x == 8
+        assert engine.build_grid(grid_size=3).cells_x == 3
+
+
+class TestEngineResults:
+    @pytest.mark.parametrize("algorithm", ["pspq", "espq-len", "espq-sco"])
+    def test_distributed_matches_oracle_on_uniform_data(self, algorithm, small_uniform_dataset):
+        data, features = small_uniform_dataset
+        vocabulary = Vocabulary.from_features(features)
+        keywords = set(vocabulary.most_frequent(3))
+        query = SpatialPreferenceQuery.create(k=10, radius=3.0, keywords=keywords)
+        oracle = CentralizedSPQ(data, features).evaluate_exhaustive(query)
+        engine = SPQEngine(data, features)
+        result = engine.execute(query, algorithm=algorithm, grid_size=10)
+        oracle_positive = [s for s in oracle.scores() if s > 0]
+        assert result.scores()[: len(oracle_positive)] == pytest.approx(oracle_positive)
+
+    @pytest.mark.parametrize("grid_size", [1, 3, 7, 20])
+    def test_result_independent_of_grid_size(self, grid_size, small_clustered_dataset):
+        data, features = small_clustered_dataset
+        vocabulary = Vocabulary.from_features(features)
+        keywords = set(vocabulary.most_frequent(2))
+        query = SpatialPreferenceQuery.create(k=5, radius=4.0, keywords=keywords)
+        engine = SPQEngine(data, features)
+        baseline = engine.execute(query, algorithm="pspq", grid_size=1)
+        result = engine.execute(query, algorithm="pspq", grid_size=grid_size)
+        assert result.scores() == pytest.approx(baseline.scores())
+
+    def test_centralized_algorithm_through_engine(self, paper_data_objects, paper_feature_objects, paper_query):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        result = engine.execute(paper_query, algorithm="centralized")
+        assert result.object_ids() == ["p1"]
+
+    def test_result_objects_carry_real_coordinates(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        result = engine.execute(paper_query, algorithm="espq-sco", grid_size=4)
+        p1 = result[0].obj
+        assert (p1.x, p1.y) == (4.6, 4.8)
+
+    def test_padding_fills_result_to_k(self):
+        # No feature is near the data objects -> no positive scores; with
+        # padding enabled the engine still returns k entries at score 0.
+        data = [DataObject(f"p{i}", float(i), 0.0) for i in range(5)]
+        features = [FeatureObject("f", 50.0, 50.0, {"kw"})]
+        query = SpatialPreferenceQuery.create(k=3, radius=1.0, keywords={"kw"})
+        padded_engine = SPQEngine(data, features, config=EngineConfig(pad_with_zero_scores=True))
+        plain_engine = SPQEngine(data, features)
+        assert len(plain_engine.execute(query, algorithm="pspq", grid_size=4)) == 0
+        padded = padded_engine.execute(query, algorithm="pspq", grid_size=4)
+        assert len(padded) == 3
+        assert padded.scores() == [0.0, 0.0, 0.0]
+
+
+class TestEngineStats:
+    @pytest.fixture()
+    def result(self, paper_data_objects, paper_feature_objects, paper_query):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        return engine.execute(paper_query, algorithm="espq-sco", grid_size=4)
+
+    def test_stats_contain_simulated_time(self, result):
+        assert result.stats["simulated_seconds"] > 0
+        breakdown = result.stats["simulated_breakdown"]
+        assert breakdown["total"] == pytest.approx(result.stats["simulated_seconds"])
+
+    def test_stats_contain_counters(self, result):
+        assert result.stats["algorithm"] == "eSPQsco"
+        assert result.stats["grid_size"] == 4
+        assert result.stats["num_cells"] == 16
+        assert result.stats["num_reduce_tasks"] == 16
+        assert result.stats["features_examined"] >= 1
+        assert result.stats["shuffled_records"] >= 1
+        assert result.stats["wall_seconds"] >= 0
+
+    def test_feature_pruning_visible_in_stats(self, result):
+        # 5 of the 8 example features have no "italian" keyword.
+        assert result.stats["features_pruned"] == 5
+
+
+class TestEngineWorkers:
+    def test_threaded_execution_matches_serial(self, small_uniform_dataset):
+        data, features = small_uniform_dataset
+        vocabulary = Vocabulary.from_features(features)
+        keywords = set(vocabulary.most_frequent(2))
+        query = SpatialPreferenceQuery.create(k=5, radius=3.0, keywords=keywords)
+        serial = SPQEngine(data, features).execute(query, algorithm="espq-len", grid_size=8)
+        threaded = SPQEngine(
+            data, features, config=EngineConfig(max_workers=4)
+        ).execute(query, algorithm="espq-len", grid_size=8)
+        assert threaded.scores() == pytest.approx(serial.scores())

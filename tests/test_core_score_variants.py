@@ -1,0 +1,165 @@
+"""Tests for the influence / nearest score-variant extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.centralized import CentralizedSPQ
+from repro.core.engine import SPQEngine
+from repro.core.scoring import SCORE_MODES, compute_score, feature_contribution
+from repro.exceptions import InvalidQueryError
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+
+WORDS = st.sampled_from([f"kw{i}" for i in range(8)])
+COORDS = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@pytest.fixture()
+def query():
+    return SpatialPreferenceQuery.create(k=3, radius=2.0, keywords={"a", "b"})
+
+
+class TestFeatureContribution:
+    def test_modes_constant(self):
+        assert set(SCORE_MODES) == {"range", "influence", "nearest"}
+
+    def test_unknown_mode_rejected(self, query):
+        with pytest.raises(ValueError):
+            feature_contribution(
+                DataObject("p", 0, 0), FeatureObject("f", 1, 0, {"a"}), query, mode="cosine"
+            )
+
+    def test_range_contribution_inside_radius(self, query):
+        value = feature_contribution(
+            DataObject("p", 0, 0), FeatureObject("f", 1, 0, {"a"}), query, mode="range"
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_contribution_zero_outside_radius_in_all_modes(self, query):
+        obj = DataObject("p", 0, 0)
+        feature = FeatureObject("f", 10, 0, {"a", "b"})
+        assert feature_contribution(obj, feature, query, "range") == 0.0
+        assert feature_contribution(obj, feature, query, "influence") == 0.0
+
+    def test_influence_decays_with_distance(self, query):
+        obj = DataObject("p", 0, 0)
+        near = FeatureObject("near", 0.5, 0, {"a", "b"})
+        far = FeatureObject("far", 1.9, 0, {"a", "b"})
+        assert feature_contribution(obj, near, query, "influence") > feature_contribution(
+            obj, far, query, "influence"
+        )
+
+    def test_influence_at_zero_distance_equals_textual_score(self, query):
+        obj = DataObject("p", 1.0, 1.0)
+        feature = FeatureObject("f", 1.0, 1.0, {"a", "b"})
+        assert feature_contribution(obj, feature, query, "influence") == pytest.approx(1.0)
+
+    def test_influence_bounded_by_range_score(self, query):
+        obj = DataObject("p", 0, 0)
+        feature = FeatureObject("f", 1.5, 0, {"a"})
+        assert feature_contribution(obj, feature, query, "influence") <= feature_contribution(
+            obj, feature, query, "range"
+        )
+
+    def test_influence_requires_positive_radius(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=0.0, keywords={"a"})
+        obj = DataObject("p", 0, 0)
+        feature = FeatureObject("f", 0, 0, {"a"})
+        with pytest.raises(ValueError):
+            feature_contribution(obj, feature, query, "influence")
+
+
+class TestComputeScoreVariants:
+    def test_nearest_uses_only_closest_feature(self, query):
+        obj = DataObject("p", 0, 0)
+        features = [
+            FeatureObject("close-bad", 0.5, 0, {"zzz"}),      # nearest, irrelevant
+            FeatureObject("far-good", 1.5, 0, {"a", "b"}),    # further, perfect match
+        ]
+        assert compute_score(obj, features, query, mode="nearest") == 0.0
+        assert compute_score(obj, features, query, mode="range") == pytest.approx(1.0)
+
+    def test_nearest_out_of_range_scores_zero(self, query):
+        obj = DataObject("p", 0, 0)
+        features = [FeatureObject("f", 50, 50, {"a"})]
+        assert compute_score(obj, features, query, mode="nearest") == 0.0
+
+    def test_nearest_with_no_features(self, query):
+        assert compute_score(DataObject("p", 0, 0), [], query, mode="nearest") == 0.0
+
+    def test_influence_score_is_max_over_contributions(self, query):
+        obj = DataObject("p", 0, 0)
+        features = [
+            FeatureObject("f1", 1.0, 0, {"a"}),        # 0.5 * 2^-0.5
+            FeatureObject("f2", 0.2, 0, {"a", "b"}),   # 1.0 * 2^-0.1
+        ]
+        expected = max(
+            feature_contribution(obj, f, query, "influence") for f in features
+        )
+        assert compute_score(obj, features, query, mode="influence") == pytest.approx(expected)
+
+
+class TestEngineScoreModes:
+    @pytest.fixture()
+    def engine(self, paper_data_objects, paper_feature_objects):
+        return SPQEngine(paper_data_objects, paper_feature_objects)
+
+    def test_espq_algorithms_reject_non_range_modes(self, engine, paper_query):
+        with pytest.raises(InvalidQueryError):
+            engine.execute(paper_query, algorithm="espq-sco", score_mode="influence")
+
+    def test_nearest_mode_requires_centralized(self, engine, paper_query):
+        with pytest.raises(InvalidQueryError):
+            engine.execute(paper_query, algorithm="pspq", score_mode="nearest")
+
+    def test_pspq_influence_matches_centralized_oracle(
+        self, paper_data_objects, paper_feature_objects
+    ):
+        query = SpatialPreferenceQuery.create(k=3, radius=1.5, keywords={"italian"})
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        oracle = CentralizedSPQ(paper_data_objects, paper_feature_objects).evaluate_exhaustive(
+            query, mode="influence"
+        )
+        oracle_positive = [s for s in oracle.scores() if s > 0]
+        result = engine.execute(query, algorithm="pspq", grid_size=4, score_mode="influence")
+        assert result.scores()[: len(oracle_positive)] == pytest.approx(oracle_positive)
+
+    def test_centralized_nearest_through_engine(self, engine, paper_query):
+        result = engine.execute(paper_query, algorithm="centralized", score_mode="nearest")
+        assert result.stats["score_mode"] == "nearest"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_data=st.integers(min_value=1, max_value=20),
+        num_features=st.integers(min_value=1, max_value=20),
+        data=st.data(),
+        k=st.integers(min_value=1, max_value=4),
+        radius=st.floats(min_value=0.5, max_value=25.0, allow_nan=False),
+        keywords=st.frozensets(WORDS, min_size=1, max_size=3),
+        grid_size=st.integers(min_value=1, max_value=5),
+    )
+    def test_pspq_influence_equivalence_property(
+        self, num_data, num_features, data, k, radius, keywords, grid_size
+    ):
+        data_objects = [
+            DataObject(f"p{i}", data.draw(COORDS), data.draw(COORDS)) for i in range(num_data)
+        ]
+        features = [
+            FeatureObject(
+                f"f{i}", data.draw(COORDS), data.draw(COORDS),
+                data.draw(st.frozensets(WORDS, min_size=1, max_size=4)),
+            )
+            for i in range(num_features)
+        ]
+        query = SpatialPreferenceQuery(k=k, radius=radius, keywords=keywords)
+        oracle = CentralizedSPQ(data_objects, features).evaluate_exhaustive(
+            query, mode="influence"
+        )
+        oracle_positive = [s for s in oracle.scores() if s > 0]
+        engine = SPQEngine(data_objects, features)
+        result = engine.execute(
+            query, algorithm="pspq", grid_size=grid_size, score_mode="influence"
+        )
+        assert result.scores()[: len(oracle_positive)] == pytest.approx(oracle_positive)

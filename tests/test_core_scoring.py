@@ -1,0 +1,73 @@
+"""Unit tests for tau(p) computation and exhaustive ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scoring import compute_score, rank_objects
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+
+
+@pytest.fixture()
+def query():
+    return SpatialPreferenceQuery.create(k=2, radius=2.0, keywords={"a", "b"})
+
+
+class TestComputeScore:
+    def test_no_features_in_range(self, query):
+        obj = DataObject("p", 0.0, 0.0)
+        features = [FeatureObject("f", 10.0, 10.0, {"a"})]
+        assert compute_score(obj, features, query) == 0.0
+
+    def test_feature_in_range_with_match(self, query):
+        obj = DataObject("p", 0.0, 0.0)
+        features = [FeatureObject("f", 1.0, 0.0, {"a"})]
+        assert compute_score(obj, features, query) == pytest.approx(0.5)
+
+    def test_feature_exactly_at_radius_counts(self, query):
+        obj = DataObject("p", 0.0, 0.0)
+        features = [FeatureObject("f", 2.0, 0.0, {"a", "b"})]
+        assert compute_score(obj, features, query) == pytest.approx(1.0)
+
+    def test_score_is_max_over_features(self, query):
+        obj = DataObject("p", 0.0, 0.0)
+        features = [
+            FeatureObject("f1", 1.0, 0.0, {"a", "x", "y"}),   # 1/4
+            FeatureObject("f2", 0.5, 0.5, {"a", "b"}),        # 1.0
+            FeatureObject("f3", 1.5, 0.0, {"a"}),             # 0.5
+        ]
+        assert compute_score(obj, features, query) == pytest.approx(1.0)
+
+    def test_irrelevant_features_score_zero(self, query):
+        obj = DataObject("p", 0.0, 0.0)
+        features = [FeatureObject("f", 0.1, 0.0, {"zzz"})]
+        assert compute_score(obj, features, query) == 0.0
+
+    def test_empty_feature_list(self, query):
+        assert compute_score(DataObject("p", 0, 0), [], query) == 0.0
+
+
+class TestRankObjects:
+    def test_returns_k_best(self, query):
+        data = [DataObject(f"p{i}", float(i), 0.0) for i in range(5)]
+        features = [FeatureObject("f", 0.0, 0.0, {"a", "b"})]
+        ranking = rank_objects(data, features, query)
+        assert len(ranking) == 2
+        assert ranking[0].obj.oid in {"p0", "p1", "p2"}
+        assert ranking[0].score == pytest.approx(1.0)
+
+    def test_fewer_objects_than_k(self):
+        query = SpatialPreferenceQuery.create(k=10, radius=1.0, keywords={"a"})
+        data = [DataObject("p", 0, 0)]
+        assert len(rank_objects(data, [], query)) == 1
+
+    def test_scores_descending(self, query):
+        data = [DataObject(f"p{i}", float(i), 0.0) for i in range(8)]
+        features = [
+            FeatureObject("f1", 0.0, 0.0, {"a"}),
+            FeatureObject("f2", 5.0, 0.0, {"a", "b"}),
+        ]
+        ranking = rank_objects(data, features, query)
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores, reverse=True)

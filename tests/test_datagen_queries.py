@@ -1,0 +1,72 @@
+"""Unit tests for query workload generation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datagen.queries import QueryWorkload, radius_from_cell_fraction
+from repro.model.objects import FeatureObject
+from repro.spatial.geometry import BoundingBox
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def workload():
+    features = [
+        FeatureObject(f"f{i}", float(i), float(i), {f"kw{i % 10}", "common"})
+        for i in range(50)
+    ]
+    return QueryWorkload.from_features(features, extent=BoundingBox(0, 0, 100, 100), seed=9)
+
+
+class TestRadiusFromCellFraction:
+    def test_default_setup_of_table3(self):
+        # extent side 100, grid 50 -> cell side 2; 10% of it -> 0.2
+        assert radius_from_cell_fraction(BoundingBox(0, 0, 100, 100), 50, 0.10) == pytest.approx(0.2)
+
+    def test_uses_longest_extent_side(self):
+        assert radius_from_cell_fraction(BoundingBox(0, 0, 100, 10), 10, 0.5) == pytest.approx(5.0)
+
+    def test_rejects_bad_grid_size(self):
+        with pytest.raises(ValueError):
+            radius_from_cell_fraction(BoundingBox(0, 0, 1, 1), 0, 0.1)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            radius_from_cell_fraction(BoundingBox(0, 0, 1, 1), 10, -0.1)
+
+
+class TestQueryWorkload:
+    def test_query_has_requested_parameters(self, workload):
+        query = workload.make_query(k=10, num_keywords=3, grid_size=50, radius_fraction=0.1)
+        assert query.k == 10
+        assert query.keyword_count == 3
+        assert query.radius == pytest.approx(0.2)
+
+    def test_keywords_drawn_from_vocabulary(self, workload):
+        query = workload.make_query(k=5, num_keywords=5, grid_size=10, radius_fraction=0.25)
+        assert all(word in workload.vocabulary for word in query.keywords)
+
+    def test_deterministic_given_seed(self, workload):
+        first = workload.make_query(k=5, num_keywords=3, grid_size=10, radius_fraction=0.1)
+        second = workload.make_query(k=5, num_keywords=3, grid_size=10, radius_fraction=0.1)
+        assert first == second
+
+    def test_batch_queries_use_independent_draws(self, workload):
+        batch = workload.make_batch(5, k=5, num_keywords=2, grid_size=10, radius_fraction=0.1)
+        assert len(batch) == 5
+        assert len({query.keywords for query in batch}) > 1
+
+    def test_frequent_strategy_prefers_common_keyword(self, workload):
+        query = workload.make_query(
+            k=1, num_keywords=1, grid_size=10, radius_fraction=0.1, strategy="frequent"
+        )
+        assert query.keywords == frozenset({"common"})
+
+    def test_iter_queries_is_a_stream(self, workload):
+        stream = workload.iter_queries(k=2, num_keywords=2, grid_size=10, radius_fraction=0.1)
+        queries = list(itertools.islice(stream, 4))
+        assert len(queries) == 4
+        assert all(query.k == 2 for query in queries)

@@ -1,0 +1,113 @@
+"""Unit tests for the FL-like / TW-like dataset generators."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.datagen.realistic import (
+    RealisticDatasetConfig,
+    flickr_config,
+    generate_flickr_like,
+    generate_twitter_like,
+    twitter_config,
+)
+from repro.text.vocabulary import Vocabulary
+
+
+class TestConfigValidation:
+    def test_rejects_too_few_objects(self):
+        with pytest.raises(ValueError):
+            RealisticDatasetConfig(num_objects=1)
+
+    def test_rejects_non_positive_mean_keywords(self):
+        with pytest.raises(ValueError):
+            RealisticDatasetConfig(mean_keywords=0.0)
+
+    def test_rejects_bad_hotspot_fraction(self):
+        with pytest.raises(ValueError):
+            RealisticDatasetConfig(hotspot_fraction=1.5)
+
+    def test_rejects_zero_hotspots(self):
+        with pytest.raises(ValueError):
+            RealisticDatasetConfig(num_hotspots=0)
+
+    def test_published_statistics_in_presets(self):
+        assert flickr_config().mean_keywords == pytest.approx(7.9)
+        assert flickr_config().vocabulary_size == 34_716
+        assert twitter_config().mean_keywords == pytest.approx(9.8)
+        assert twitter_config().vocabulary_size == 88_706
+
+
+class TestFlickrLike:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = RealisticDatasetConfig(
+            num_objects=3_000, vocabulary_size=2_000, mean_keywords=7.9, seed=31
+        )
+        return generate_flickr_like(config=config)
+
+    def test_split_is_half_and_half(self, dataset):
+        data, features = dataset
+        assert len(data) == 1_500
+        assert len(features) == 1_500
+
+    def test_mean_keyword_count_near_target(self, dataset):
+        _, features = dataset
+        mean = statistics.mean(f.keyword_count for f in features)
+        assert mean == pytest.approx(7.9, abs=1.0)
+
+    def test_every_feature_has_at_least_one_keyword(self, dataset):
+        _, features = dataset
+        assert all(f.keyword_count >= 1 for f in features)
+
+    def test_positions_within_world_extent(self, dataset):
+        data, features = dataset
+        extent = RealisticDatasetConfig().extent
+        for obj in list(data) + list(features):
+            assert extent.contains(obj.x, obj.y)
+
+    def test_spatial_skew_present(self, dataset):
+        """Hotspot generation should concentrate many objects in few areas."""
+        data, features = dataset
+        buckets: dict = {}
+        for obj in list(data) + list(features):
+            key = (int(obj.x // 10), int(obj.y // 10))
+            buckets[key] = buckets.get(key, 0) + 1
+        # With 40 hotspots holding ~80% of the objects, the 40 fullest 10x10
+        # buckets should hold far more than the uniform expectation
+        # (40 buckets out of 36*18 = ~6% of the space).
+        top_share = sum(sorted(buckets.values(), reverse=True)[:40]) / (len(data) + len(features))
+        assert top_share > 0.5
+
+    def test_keyword_frequencies_are_skewed(self, dataset):
+        """Zipf sampling should make the most frequent keyword much more common
+        than the median keyword."""
+        _, features = dataset
+        vocab = Vocabulary.from_features(features)
+        frequencies = sorted(vocab.as_dict().values(), reverse=True)
+        assert frequencies[0] >= 5 * statistics.median(frequencies)
+
+    def test_deterministic_under_seed(self):
+        config = RealisticDatasetConfig(num_objects=400, vocabulary_size=500, seed=77)
+        assert generate_flickr_like(config=config) == generate_flickr_like(config=config)
+
+
+class TestTwitterLike:
+    def test_mean_keyword_count_near_target(self):
+        config = RealisticDatasetConfig(
+            num_objects=3_000, vocabulary_size=2_000, mean_keywords=9.8, seed=41
+        )
+        _, features = generate_twitter_like(config=config)
+        mean = statistics.mean(f.keyword_count for f in features)
+        assert mean == pytest.approx(9.8, abs=1.2)
+
+    def test_ids_are_prefixed_per_dataset(self):
+        data_fl, _ = generate_flickr_like(num_objects=100)
+        data_tw, _ = generate_twitter_like(num_objects=100)
+        assert all(obj.oid.startswith("fl_") for obj in data_fl)
+        assert all(obj.oid.startswith("tw_") for obj in data_tw)
+
+    def test_flickr_and_twitter_differ(self):
+        assert generate_flickr_like(num_objects=200) != generate_twitter_like(num_objects=200)

@@ -1,0 +1,108 @@
+"""Unit tests for the simulated cluster and LPT scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ClusterConfigurationError
+from repro.mapreduce.cluster import ClusterNode, SimulatedCluster, paper_cluster
+
+
+class TestClusterNode:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ClusterConfigurationError):
+            ClusterNode("d1", cores=0)
+
+    def test_rejects_non_positive_speed(self):
+        with pytest.raises(ClusterConfigurationError):
+            ClusterNode("d1", cores=4, speed=0.0)
+
+
+class TestClusterConstruction:
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ClusterConfigurationError):
+            SimulatedCluster([])
+
+    def test_rejects_duplicate_node_ids(self):
+        with pytest.raises(ClusterConfigurationError):
+            SimulatedCluster([ClusterNode("d1", 4), ClusterNode("d1", 4)])
+
+    def test_total_slots(self):
+        cluster = SimulatedCluster([ClusterNode("a", 2), ClusterNode("b", 3)])
+        assert cluster.total_slots == 5
+
+    def test_paper_cluster_matches_section_7_1(self):
+        cluster = paper_cluster()
+        assert len(cluster.nodes) == 16
+        # 8 nodes x 8 cores + 4 x 12 + 4 x 16 = 64 + 48 + 64
+        assert cluster.total_slots == 176
+
+    def test_slot_speeds_one_entry_per_core(self):
+        cluster = SimulatedCluster([ClusterNode("a", 2, speed=2.0), ClusterNode("b", 1)])
+        assert sorted(cluster.slot_speeds()) == [1.0, 2.0, 2.0]
+
+
+class TestScheduling:
+    def test_single_task(self):
+        cluster = SimulatedCluster([ClusterNode("a", 1)])
+        makespan, assignment = cluster.schedule([10.0])
+        assert makespan == pytest.approx(10.0)
+        assert assignment == {0: 0}
+
+    def test_tasks_fewer_than_slots_run_fully_parallel(self):
+        cluster = SimulatedCluster([ClusterNode("a", 4)])
+        makespan, _ = cluster.schedule([3.0, 1.0, 2.0])
+        assert makespan == pytest.approx(3.0)
+
+    def test_tasks_more_than_slots_form_waves(self):
+        cluster = SimulatedCluster([ClusterNode("a", 2)])
+        makespan, _ = cluster.schedule([1.0, 1.0, 1.0, 1.0])
+        assert makespan == pytest.approx(2.0)
+
+    def test_makespan_bounded_below_by_longest_task(self):
+        cluster = SimulatedCluster([ClusterNode("a", 8)])
+        makespan, _ = cluster.schedule([5.0] + [0.1] * 20)
+        assert makespan >= 5.0
+
+    def test_makespan_bounded_below_by_average_load(self):
+        cluster = SimulatedCluster([ClusterNode("a", 2)])
+        costs = [1.0] * 10
+        makespan, _ = cluster.schedule(costs)
+        assert makespan >= sum(costs) / cluster.total_slots
+
+    def test_faster_nodes_reduce_makespan(self):
+        slow = SimulatedCluster([ClusterNode("a", 1, speed=1.0)])
+        fast = SimulatedCluster([ClusterNode("a", 1, speed=2.0)])
+        costs = [4.0, 2.0]
+        assert fast.schedule(costs)[0] == pytest.approx(slow.schedule(costs)[0] / 2.0)
+
+    def test_zero_cost_tasks_allowed(self):
+        cluster = SimulatedCluster([ClusterNode("a", 1)])
+        makespan, _ = cluster.schedule([0.0, 0.0])
+        assert makespan == 0.0
+
+    def test_negative_cost_rejected(self):
+        cluster = SimulatedCluster([ClusterNode("a", 1)])
+        with pytest.raises(ClusterConfigurationError):
+            cluster.schedule([-1.0])
+
+    def test_empty_task_list(self):
+        cluster = SimulatedCluster([ClusterNode("a", 1)])
+        makespan, assignment = cluster.schedule([])
+        assert makespan == 0.0
+        assert assignment == {}
+
+    def test_all_tasks_assigned(self):
+        cluster = paper_cluster()
+        costs = [float(i % 7) for i in range(500)]
+        _, assignment = cluster.schedule(costs)
+        assert sorted(assignment.keys()) == list(range(500))
+
+
+class TestWaves:
+    def test_wave_count(self):
+        cluster = SimulatedCluster([ClusterNode("a", 4)])
+        assert cluster.waves(0) == 0
+        assert cluster.waves(4) == 1
+        assert cluster.waves(5) == 2
+        assert cluster.waves(8) == 2

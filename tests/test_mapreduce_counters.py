@@ -1,0 +1,73 @@
+"""Unit tests for job counters."""
+
+from __future__ import annotations
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_unknown_counter_is_zero(self):
+        assert Counters().get("map", "records") == 0
+
+    def test_increment_default_amount(self):
+        counters = Counters()
+        counters.increment("map", "records")
+        counters.increment("map", "records")
+        assert counters.get("map", "records") == 2
+
+    def test_increment_custom_amount(self):
+        counters = Counters()
+        counters.increment("shuffle", "bytes", 1024)
+        assert counters.get("shuffle", "bytes") == 1024
+
+    def test_groups_are_independent(self):
+        counters = Counters()
+        counters.increment("map", "records", 3)
+        counters.increment("reduce", "records", 5)
+        assert counters.get("map", "records") == 3
+        assert counters.get("reduce", "records") == 5
+
+    def test_group_view_is_copy(self):
+        counters = Counters()
+        counters.increment("map", "records", 1)
+        view = counters.group("map")
+        view["records"] = 999
+        assert counters.get("map", "records") == 1
+
+    def test_merge_adds_counters(self):
+        left = Counters()
+        left.increment("work", "score", 10)
+        right = Counters()
+        right.increment("work", "score", 5)
+        right.increment("work", "other", 2)
+        left.merge(right)
+        assert left.get("work", "score") == 15
+        assert left.get("work", "other") == 2
+
+    def test_merge_does_not_mutate_source(self):
+        left = Counters()
+        right = Counters()
+        right.increment("a", "b", 1)
+        left.merge(right)
+        left.increment("a", "b", 100)
+        assert right.get("a", "b") == 1
+
+    def test_items_sorted(self):
+        counters = Counters()
+        counters.increment("z", "x", 1)
+        counters.increment("a", "y", 2)
+        counters.increment("a", "b", 3)
+        assert list(counters.items()) == [("a", "b", 3), ("a", "y", 2), ("z", "x", 1)]
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.increment("map", "records", 7)
+        assert counters.as_dict() == {"map": {"records": 7}}
+
+    def test_copy_is_independent(self):
+        counters = Counters()
+        counters.increment("map", "records", 1)
+        clone = counters.copy()
+        clone.increment("map", "records", 1)
+        assert counters.get("map", "records") == 1
+        assert clone.get("map", "records") == 2

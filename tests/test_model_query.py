@@ -1,0 +1,57 @@
+"""Unit tests for the query object q(k, r, W)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.model.query import SpatialPreferenceQuery
+
+
+class TestQueryValidation:
+    def test_valid_query(self):
+        query = SpatialPreferenceQuery.create(k=3, radius=1.5, keywords={"a", "b"})
+        assert query.k == 3
+        assert query.radius == 1.5
+        assert query.keywords == frozenset({"a", "b"})
+
+    def test_keyword_count(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=0.5, keywords={"a", "b", "c"})
+        assert query.keyword_count == 3
+
+    @pytest.mark.parametrize("bad_k", [0, -1, -100])
+    def test_rejects_non_positive_k(self, bad_k):
+        with pytest.raises(InvalidQueryError):
+            SpatialPreferenceQuery.create(k=bad_k, radius=1.0, keywords={"a"})
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(InvalidQueryError):
+            SpatialPreferenceQuery.create(k=1, radius=-0.1, keywords={"a"})
+
+    def test_zero_radius_is_allowed(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=0.0, keywords={"a"})
+        assert query.radius == 0.0
+
+    def test_rejects_empty_keywords(self):
+        with pytest.raises(InvalidQueryError):
+            SpatialPreferenceQuery.create(k=1, radius=1.0, keywords=set())
+
+    def test_keywords_accept_any_iterable(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords=["x", "y", "x"])
+        assert query.keywords == frozenset({"x", "y"})
+
+    def test_query_is_immutable(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        with pytest.raises(AttributeError):
+            query.k = 5
+
+    def test_query_is_hashable(self):
+        query = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        assert query in {query}
+
+    def test_describe_mentions_parameters(self):
+        query = SpatialPreferenceQuery.create(k=7, radius=2.5, keywords={"sushi"})
+        description = query.describe()
+        assert "top-7" in description
+        assert "2.5" in description
+        assert "sushi" in description

@@ -1,0 +1,130 @@
+"""Unit tests for ScoredObject, TopKList (the paper's Lk / tau) and merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.objects import DataObject
+from repro.model.result import QueryResult, ScoredObject, TopKList, merge_top_k
+
+
+def _obj(oid: str) -> DataObject:
+    return DataObject(oid, 0.0, 0.0)
+
+
+class TestScoredObjectOrdering:
+    def test_higher_score_sorts_first(self):
+        high = ScoredObject(_obj("a"), 0.9)
+        low = ScoredObject(_obj("b"), 0.1)
+        assert sorted([low, high]) == [high, low]
+
+    def test_ties_broken_by_object_id(self):
+        first = ScoredObject(_obj("a"), 0.5)
+        second = ScoredObject(_obj("b"), 0.5)
+        assert sorted([second, first]) == [first, second]
+
+
+class TestTopKList:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopKList(0)
+
+    def test_threshold_zero_until_k_entries(self):
+        top = TopKList(3)
+        top.offer(_obj("a"), 0.9)
+        top.offer(_obj("b"), 0.8)
+        assert top.threshold == 0.0
+        top.offer(_obj("c"), 0.7)
+        assert top.threshold == pytest.approx(0.7)
+
+    def test_threshold_is_kth_best(self):
+        top = TopKList(2)
+        for oid, score in [("a", 0.1), ("b", 0.5), ("c", 0.9), ("d", 0.3)]:
+            top.offer(_obj(oid), score)
+        assert top.threshold == pytest.approx(0.5)
+
+    def test_offer_improves_existing_score(self):
+        top = TopKList(2)
+        top.offer(_obj("a"), 0.2)
+        assert top.offer(_obj("a"), 0.6) is True
+        assert top.top()[0].score == pytest.approx(0.6)
+        assert len(top) == 1
+
+    def test_offer_does_not_downgrade(self):
+        top = TopKList(2)
+        top.offer(_obj("a"), 0.6)
+        assert top.offer(_obj("a"), 0.2) is False
+        assert top.top()[0].score == pytest.approx(0.6)
+
+    def test_top_returns_descending_scores(self):
+        top = TopKList(3)
+        for oid, score in [("a", 0.1), ("b", 0.9), ("c", 0.5), ("d", 0.7)]:
+            top.offer(_obj(oid), score)
+        scores = [entry.score for entry in top.top()]
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) == 3
+
+    def test_len_is_capped_at_k(self):
+        top = TopKList(2)
+        for index in range(10):
+            top.offer(_obj(f"o{index}"), index / 10.0)
+        assert len(top) == 2
+
+    def test_pruning_keeps_correct_top_k(self):
+        top = TopKList(2)
+        # Insert many entries to trigger internal pruning; the top-2 must
+        # always be the two highest offered scores.
+        for index in range(100):
+            top.offer(_obj(f"o{index}"), (index * 37 % 100) / 100.0)
+        scores = [entry.score for entry in top.top()]
+        assert scores == [pytest.approx(0.99), pytest.approx(0.98)]
+
+    def test_iteration_matches_top(self):
+        top = TopKList(3)
+        top.offer(_obj("a"), 0.4)
+        top.offer(_obj("b"), 0.8)
+        assert list(top) == top.top()
+
+
+class TestMergeTopK:
+    def test_merges_per_cell_lists(self):
+        cell1 = [ScoredObject(_obj("a"), 0.9), ScoredObject(_obj("b"), 0.2)]
+        cell2 = [ScoredObject(_obj("c"), 0.5)]
+        merged = merge_top_k([cell1, cell2], k=2)
+        assert [entry.obj.oid for entry in merged] == ["a", "c"]
+
+    def test_merge_respects_k(self):
+        cells = [[ScoredObject(_obj(f"o{i}"), i / 10.0)] for i in range(10)]
+        merged = merge_top_k(cells, k=3)
+        assert len(merged) == 3
+        assert merged[0].score == pytest.approx(0.9)
+
+    def test_merge_deduplicates_object_ids(self):
+        cell1 = [ScoredObject(_obj("a"), 0.9)]
+        cell2 = [ScoredObject(_obj("a"), 0.7)]
+        merged = merge_top_k([cell1, cell2], k=5)
+        assert len(merged) == 1
+        assert merged[0].score == pytest.approx(0.9)
+
+    def test_merge_of_empty_input(self):
+        assert merge_top_k([], k=3) == []
+
+
+class TestQueryResult:
+    def test_entries_sorted_best_first(self):
+        result = QueryResult([ScoredObject(_obj("a"), 0.1), ScoredObject(_obj("b"), 0.9)])
+        assert result.object_ids() == ["b", "a"]
+        assert result.scores() == [pytest.approx(0.9), pytest.approx(0.1)]
+
+    def test_len_iteration_and_indexing(self):
+        entries = [ScoredObject(_obj("a"), 0.3), ScoredObject(_obj("b"), 0.6)]
+        result = QueryResult(entries)
+        assert len(result) == 2
+        assert result[0].obj.oid == "b"
+        assert [e.obj.oid for e in result] == ["b", "a"]
+
+    def test_stats_are_copied(self):
+        stats = {"algorithm": "pSPQ"}
+        result = QueryResult([], stats=stats)
+        stats["algorithm"] = "mutated"
+        assert result.stats["algorithm"] == "pSPQ"

@@ -1,0 +1,95 @@
+"""The paper's running example (Figure 1, Figure 2, Table 2) reproduced exactly.
+
+These tests pin down the concrete numbers printed in the paper: the Jaccard
+scores of Table 2, the top-1 answer (p1 with score 1 due to f4), and the
+duplication of feature object f7 into cells C9, C10 and C13 on the 4x4 grid of
+Figure 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.centralized import CentralizedSPQ
+from repro.core.engine import SPQEngine
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import UniformGrid
+from repro.spatial.partitioning import GridPartitioner
+from repro.text.similarity import non_spatial_score
+
+
+TABLE2_JACCARD = {
+    "f1": 0.5,   # {italian, gourmet} vs {italian}
+    "f2": 0.0,
+    "f3": 0.0,
+    "f4": 1.0,   # {italian} vs {italian}
+    "f5": 0.0,
+    "f7": 0.5,   # {italian, spaghetti} vs {italian}
+    "f8": 0.0,
+}
+
+
+class TestTable2Scores:
+    def test_jaccard_scores_match_table_2(self, paper_feature_objects, paper_query):
+        by_id = {f.oid: f for f in paper_feature_objects}
+        for oid, expected in TABLE2_JACCARD.items():
+            actual = non_spatial_score(by_id[oid].keywords, paper_query.keywords)
+            assert actual == pytest.approx(expected), oid
+
+    def test_f6_is_out_of_range_of_every_data_object(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        f6 = next(f for f in paper_feature_objects if f.oid == "f6")
+        distances = [p.distance_to(f6) for p in paper_data_objects]
+        assert all(d > paper_query.radius for d in distances)
+
+
+class TestExampleTop1:
+    def test_centralized_returns_p1_with_score_1(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        oracle = CentralizedSPQ(paper_data_objects, paper_feature_objects)
+        result = oracle.evaluate_exhaustive(paper_query)
+        assert result.object_ids() == ["p1"]
+        assert result.scores() == [pytest.approx(1.0)]
+
+    def test_example_object_scores(self, paper_data_objects, paper_feature_objects, paper_query):
+        """The per-object scores quoted in Example 1: p4 -> 0.5, p1 -> 1, p5 -> 0.5."""
+        from repro.core.scoring import compute_score
+
+        by_id = {p.oid: p for p in paper_data_objects}
+        assert compute_score(by_id["p4"], paper_feature_objects, paper_query) == pytest.approx(0.5)
+        assert compute_score(by_id["p1"], paper_feature_objects, paper_query) == pytest.approx(1.0)
+        assert compute_score(by_id["p5"], paper_feature_objects, paper_query) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("algorithm", ["pspq", "espq-len", "espq-sco"])
+    def test_distributed_algorithms_return_p1(
+        self, algorithm, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(
+            paper_data_objects,
+            paper_feature_objects,
+            extent=BoundingBox(0.0, 0.0, 10.0, 10.0),
+        )
+        result = engine.execute(paper_query, algorithm=algorithm, grid_size=4)
+        assert result.object_ids() == ["p1"]
+        assert result.scores() == [pytest.approx(1.0)]
+
+
+class TestFigure2Duplication:
+    """Feature f7 (3.0, 8.1) must be duplicated to cells C9, C10 and C13."""
+
+    @pytest.fixture()
+    def grid(self):
+        return UniformGrid.square(BoundingBox(0.0, 0.0, 10.0, 10.0), 4)
+
+    def test_f7_home_cell_is_c14(self, grid, paper_feature_objects):
+        f7 = next(f for f in paper_feature_objects if f.oid == "f7")
+        assert grid.locate(f7.x, f7.y) == 14
+
+    def test_f7_duplicated_to_c9_c10_c13(self, grid, paper_feature_objects, paper_query):
+        f7 = next(f for f in paper_feature_objects if f.oid == "f7")
+        partitioner = GridPartitioner(grid, paper_query.radius)
+        cells = partitioner.assign_feature_object(f7)
+        assert cells[0] == 14
+        assert sorted(cells[1:]) == [9, 10, 13]

@@ -1,0 +1,82 @@
+"""Unit tests for points, bounding boxes and MINDIST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatial.geometry import BoundingBox, Point, euclidean_distance
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_module_level_distance(self):
+        assert euclidean_distance(0, 0, 0, 2) == pytest.approx(2.0)
+
+
+class TestBoundingBoxConstruction:
+    def test_rejects_inverted_box(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 1, 10)
+
+    def test_degenerate_box_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.area == 0.0
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+        assert box.center == Point(2.0, 1.0)
+
+
+class TestContainsAndIntersects:
+    def test_contains_interior_point(self):
+        assert BoundingBox(0, 0, 10, 10).contains(5, 5)
+
+    def test_contains_boundary_point(self):
+        assert BoundingBox(0, 0, 10, 10).contains(0, 10)
+
+    def test_does_not_contain_outside_point(self):
+        assert not BoundingBox(0, 0, 10, 10).contains(10.01, 5)
+
+    def test_intersects_overlapping(self):
+        assert BoundingBox(0, 0, 5, 5).intersects(BoundingBox(4, 4, 8, 8))
+
+    def test_intersects_touching_edges(self):
+        assert BoundingBox(0, 0, 5, 5).intersects(BoundingBox(5, 0, 8, 5))
+
+    def test_disjoint_boxes(self):
+        assert not BoundingBox(0, 0, 1, 1).intersects(BoundingBox(2, 2, 3, 3))
+
+
+class TestMinDistance:
+    def test_zero_for_inside_point(self):
+        assert BoundingBox(0, 0, 10, 10).min_distance(3, 3) == 0.0
+
+    def test_distance_to_edge(self):
+        assert BoundingBox(0, 0, 10, 10).min_distance(-2, 5) == pytest.approx(2.0)
+
+    def test_distance_to_corner(self):
+        assert BoundingBox(0, 0, 10, 10).min_distance(-3, -4) == pytest.approx(5.0)
+
+    def test_distance_above_box(self):
+        assert BoundingBox(0, 0, 10, 10).min_distance(5, 12) == pytest.approx(2.0)
+
+    def test_boundary_point_distance_zero(self):
+        assert BoundingBox(0, 0, 10, 10).min_distance(10, 10) == 0.0
+
+
+class TestExpand:
+    def test_expand_grows_every_side(self):
+        expanded = BoundingBox(0, 0, 2, 2).expand(1.0)
+        assert expanded == BoundingBox(-1, -1, 3, 3)
+
+    def test_expand_zero_is_identity(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.expand(0.0) == box

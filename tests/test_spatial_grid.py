@@ -1,0 +1,129 @@
+"""Unit tests for the uniform grid (cell ids, location, MINDIST, neighbours)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidGridError
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import UniformGrid
+
+
+@pytest.fixture()
+def grid_4x4():
+    """The 4x4 grid over [0, 10]^2 of the paper's Figure 2."""
+    return UniformGrid.square(BoundingBox(0, 0, 10, 10), 4)
+
+
+class TestConstruction:
+    def test_rejects_zero_cells(self):
+        with pytest.raises(InvalidGridError):
+            UniformGrid(BoundingBox(0, 0, 1, 1), 0)
+
+    def test_rejects_degenerate_extent(self):
+        with pytest.raises(InvalidGridError):
+            UniformGrid(BoundingBox(0, 0, 0, 1), 4)
+
+    def test_num_cells(self, grid_4x4):
+        assert grid_4x4.num_cells == 16
+
+    def test_rectangular_grid(self):
+        grid = UniformGrid(BoundingBox(0, 0, 10, 5), cells_x=10, cells_y=5)
+        assert grid.num_cells == 50
+        assert grid.cell_width == pytest.approx(1.0)
+        assert grid.cell_height == pytest.approx(1.0)
+
+    def test_unit_grid(self):
+        grid = UniformGrid.unit(10)
+        assert grid.extent == BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert grid.cell_width == pytest.approx(0.1)
+
+
+class TestCellIds:
+    def test_ids_are_row_major_starting_at_one(self, grid_4x4):
+        assert grid_4x4.cell_id(0, 0) == 1
+        assert grid_4x4.cell_id(3, 0) == 4
+        assert grid_4x4.cell_id(0, 1) == 5
+        assert grid_4x4.cell_id(3, 3) == 16
+
+    def test_position_is_inverse_of_id(self, grid_4x4):
+        for cell_id in range(1, 17):
+            col, row = grid_4x4.cell_position(cell_id)
+            assert grid_4x4.cell_id(col, row) == cell_id
+
+    def test_out_of_range_ids_rejected(self, grid_4x4):
+        with pytest.raises(InvalidGridError):
+            grid_4x4.cell_position(0)
+        with pytest.raises(InvalidGridError):
+            grid_4x4.cell_position(17)
+
+    def test_out_of_range_coordinates_rejected(self, grid_4x4):
+        with pytest.raises(InvalidGridError):
+            grid_4x4.cell_id(4, 0)
+
+    def test_cell_boxes_tile_the_extent(self, grid_4x4):
+        total_area = sum(cell.box.area for cell in grid_4x4.cells())
+        assert total_area == pytest.approx(grid_4x4.extent.area)
+
+    def test_cells_iteration_order(self, grid_4x4):
+        ids = [cell.cell_id for cell in grid_4x4.cells()]
+        assert ids == list(range(1, 17))
+
+
+class TestLocate:
+    def test_interior_point(self, grid_4x4):
+        # (3.0, 8.1) is in column 1, row 3 -> cell 14 (paper Figure 2, f7)
+        assert grid_4x4.locate(3.0, 8.1) == 14
+
+    def test_origin_in_first_cell(self, grid_4x4):
+        assert grid_4x4.locate(0.0, 0.0) == 1
+
+    def test_max_corner_clamped_into_last_cell(self, grid_4x4):
+        assert grid_4x4.locate(10.0, 10.0) == 16
+
+    def test_outside_points_clamped(self, grid_4x4):
+        assert grid_4x4.locate(-5.0, -5.0) == 1
+        assert grid_4x4.locate(50.0, 50.0) == 16
+
+    def test_located_cell_contains_point(self, grid_4x4):
+        for x, y in [(1.1, 2.2), (9.9, 0.1), (5.0, 5.0), (7.49, 2.51)]:
+            cell_id = grid_4x4.locate(x, y)
+            assert grid_4x4.cell_box(cell_id).contains(x, y)
+
+
+class TestNeighbours:
+    def test_figure2_f7_duplication_cells(self, grid_4x4):
+        # f7 at (3.0, 8.1) with r = 1.5 -> cells 9, 10, 13
+        assert sorted(grid_4x4.neighbours_within(3.0, 8.1, 1.5)) == [9, 10, 13]
+
+    def test_zero_radius_has_no_neighbours_for_interior_point(self, grid_4x4):
+        assert grid_4x4.neighbours_within(1.2, 1.3, 0.0) == []
+
+    def test_centre_point_with_small_radius(self, grid_4x4):
+        # Point in the middle of a cell, radius smaller than distance to edges.
+        assert grid_4x4.neighbours_within(6.25, 6.25, 0.5) == []
+
+    def test_corner_point_with_radius_reaches_three_cells(self, grid_4x4):
+        # Close to an interior grid corner: duplicates to the 3 adjacent cells.
+        neighbours = grid_4x4.neighbours_within(2.4, 2.4, 0.2)
+        assert len(neighbours) == 3
+
+    def test_negative_radius_rejected(self, grid_4x4):
+        with pytest.raises(InvalidGridError):
+            grid_4x4.neighbours_within(1, 1, -0.1)
+
+    def test_large_radius_reaches_every_other_cell(self, grid_4x4):
+        neighbours = grid_4x4.neighbours_within(5.0, 5.0, 20.0)
+        assert len(neighbours) == 15
+
+    def test_neighbours_all_within_mindist(self, grid_4x4):
+        x, y, r = 3.1, 4.9, 1.7
+        for cell_id in grid_4x4.neighbours_within(x, y, r):
+            assert grid_4x4.min_distance(cell_id, x, y) <= r
+
+    def test_non_neighbours_all_beyond_mindist(self, grid_4x4):
+        x, y, r = 3.1, 4.9, 1.7
+        selected = set(grid_4x4.neighbours_within(x, y, r)) | {grid_4x4.locate(x, y)}
+        for cell_id in range(1, grid_4x4.num_cells + 1):
+            if cell_id not in selected:
+                assert grid_4x4.min_distance(cell_id, x, y) > r

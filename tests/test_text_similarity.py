@@ -1,0 +1,97 @@
+"""Unit tests for Jaccard scoring and the length-based upper bound (Defn. 1, Eq. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.similarity import (
+    jaccard,
+    jaccard_upper_bound,
+    keyword_overlap,
+    non_spatial_score,
+    upper_bound_for_length,
+)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == pytest.approx(1.0)
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        # |{a}| / |{a, b, c}|
+        assert jaccard({"a", "b"}, {"a", "c"}) == pytest.approx(1.0 / 3.0)
+
+    def test_single_common_term_table2_f1(self):
+        # Table 2: f1 = {italian, gourmet} vs q = {italian} -> 0.5
+        assert jaccard({"italian", "gourmet"}, {"italian"}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard({"a"}, set()) == 0.0
+        assert jaccard(set(), {"a"}) == 0.0
+
+    def test_symmetry(self):
+        assert jaccard({"a", "b", "c"}, {"b", "d"}) == pytest.approx(
+            jaccard({"b", "d"}, {"a", "b", "c"})
+        )
+
+    def test_range_is_unit_interval(self):
+        score = jaccard({"a", "b", "c", "d"}, {"c", "d", "e"})
+        assert 0.0 <= score <= 1.0
+
+    def test_non_spatial_score_is_jaccard(self):
+        assert non_spatial_score({"x", "y"}, {"y", "z"}) == jaccard({"x", "y"}, {"y", "z"})
+
+    def test_accepts_frozensets_and_sets(self):
+        assert jaccard(frozenset({"a"}), {"a"}) == 1.0
+
+
+class TestUpperBound:
+    def test_bound_is_one_for_shorter_features(self):
+        # |f.W| < |q.W| -> bound 1 (Eq. 1, first case)
+        assert upper_bound_for_length(feature_length=2, query_length=3) == 1.0
+
+    def test_bound_for_equal_lengths(self):
+        assert upper_bound_for_length(3, 3) == pytest.approx(1.0)
+
+    def test_bound_for_longer_features(self):
+        assert upper_bound_for_length(feature_length=10, query_length=2) == pytest.approx(0.2)
+
+    def test_bound_monotonically_decreases_with_length(self):
+        bounds = [upper_bound_for_length(n, 3) for n in range(1, 50)]
+        assert all(earlier >= later for earlier, later in zip(bounds, bounds[1:]))
+
+    def test_bound_dominates_actual_jaccard(self):
+        feature = {"a", "b", "c", "d", "e"}
+        query = {"a", "b"}
+        assert jaccard_upper_bound(feature, query) >= jaccard(feature, query)
+
+    def test_bound_is_tight_for_containment(self):
+        feature = {"a", "b", "c", "d"}
+        query = {"a", "b"}
+        assert jaccard_upper_bound(feature, query) == pytest.approx(jaccard(feature, query))
+
+    def test_rejects_negative_feature_length(self):
+        with pytest.raises(ValueError):
+            upper_bound_for_length(-1, 2)
+
+    def test_rejects_zero_query_length(self):
+        with pytest.raises(ValueError):
+            upper_bound_for_length(3, 0)
+
+    def test_zero_length_feature_gets_bound_one(self):
+        # An empty feature keyword set is shorter than any query.
+        assert upper_bound_for_length(0, 1) == 1.0
+
+
+class TestKeywordOverlap:
+    def test_overlap(self):
+        assert keyword_overlap(["a", "b", "c"], {"b", "c", "d"}) == {"b", "c"}
+
+    def test_no_overlap(self):
+        assert keyword_overlap(["a"], {"b"}) == set()

@@ -1,0 +1,56 @@
+"""Unit tests for keyword tokenization."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import DEFAULT_STOPWORDS, normalize_keyword, tokenize
+
+
+class TestNormalizeKeyword:
+    def test_lowercases(self):
+        assert normalize_keyword("Italian") == "italian"
+
+    def test_strips_punctuation(self):
+        assert normalize_keyword("(pizza!)") == "pizza"
+
+    def test_strips_whitespace(self):
+        assert normalize_keyword("  sushi  ") == "sushi"
+
+
+class TestTokenize:
+    def test_basic_sentence(self):
+        keywords = tokenize("Great Italian restaurant near the station")
+        assert "italian" in keywords
+        assert "restaurant" in keywords
+
+    def test_stopwords_removed(self):
+        keywords = tokenize("the best of the best")
+        assert "the" not in keywords
+        assert "of" not in keywords
+        assert "best" in keywords
+
+    def test_custom_stopwords(self):
+        keywords = tokenize("fresh sushi bar", stopwords={"sushi"})
+        assert "sushi" not in keywords
+        assert "fresh" in keywords
+
+    def test_min_length_filter(self):
+        keywords = tokenize("go to a pub", min_length=3)
+        assert "go" not in keywords
+        assert "pub" in keywords
+
+    def test_hashtags_and_mentions_preserved(self):
+        keywords = tokenize("lunch at #rome with @anna")
+        assert "#rome" in keywords
+        assert "@anna" in keywords
+
+    def test_returns_frozenset(self):
+        assert isinstance(tokenize("hello world"), frozenset)
+
+    def test_empty_text(self):
+        assert tokenize("") == frozenset()
+
+    def test_duplicates_collapse(self):
+        assert tokenize("pizza pizza pizza") == frozenset({"pizza"})
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)

@@ -1,0 +1,99 @@
+"""Unit tests for the vocabulary / keyword-dictionary helper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.objects import FeatureObject
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def features():
+    return [
+        FeatureObject("f1", 0, 0, {"italian", "pizza"}),
+        FeatureObject("f2", 1, 1, {"italian", "wine"}),
+        FeatureObject("f3", 2, 2, {"sushi"}),
+    ]
+
+
+class TestConstruction:
+    def test_from_features_counts_document_frequency(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert len(vocab) == 4
+        assert vocab.frequency("italian") == 2
+        assert vocab.frequency("sushi") == 1
+
+    def test_from_words(self):
+        vocab = Vocabulary.from_words(["a", "b", "a"])
+        assert vocab.frequency("a") == 2
+        assert vocab.frequency("b") == 1
+
+    def test_unknown_word_has_zero_frequency(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert vocab.frequency("burger") == 0
+
+    def test_contains(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert "pizza" in vocab
+        assert "burger" not in vocab
+
+    def test_words_sorted(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert vocab.words() == sorted(vocab.words())
+
+
+class TestFrequencyQueries:
+    def test_most_frequent(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert vocab.most_frequent(1) == ["italian"]
+
+    def test_least_frequent_breaks_ties_alphabetically(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert vocab.least_frequent(2) == ["pizza", "sushi"]
+
+
+class TestSampling:
+    def test_random_sampling_is_reproducible(self, features):
+        vocab = Vocabulary.from_features(features)
+        first = vocab.sample(2, rng=random.Random(1))
+        second = vocab.sample(2, rng=random.Random(1))
+        assert first == second
+
+    def test_sample_size_capped_at_vocabulary(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert len(vocab.sample(100, rng=random.Random(0))) == len(vocab)
+
+    def test_frequent_strategy(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert vocab.sample(1, strategy="frequent") == ["italian"]
+
+    def test_rare_strategy(self, features):
+        vocab = Vocabulary.from_features(features)
+        assert set(vocab.sample(2, strategy="rare")) == {"pizza", "sushi"}
+
+    def test_unknown_strategy_rejected(self, features):
+        vocab = Vocabulary.from_features(features)
+        with pytest.raises(ValueError):
+            vocab.sample(1, strategy="zipf")
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary().sample(1)
+
+
+class TestMerge:
+    def test_merge_adds_frequencies(self, features):
+        left = Vocabulary.from_features(features[:1])
+        right = Vocabulary.from_features(features[1:])
+        merged = left.merge(right)
+        assert merged.frequency("italian") == 2
+        assert merged.frequency("wine") == 1
+
+    def test_as_dict_is_copy(self, features):
+        vocab = Vocabulary.from_features(features)
+        table = vocab.as_dict()
+        table["italian"] = 999
+        assert vocab.frequency("italian") == 2
