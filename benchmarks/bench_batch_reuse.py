@@ -1,0 +1,162 @@
+"""Batch-vs-sequential speedup on a repeated-query workload.
+
+Demonstrates the value of the reusable index layer: a 20-query workload
+drawn from a handful of repeated keyword sets is executed twice --
+
+* **sequential**: one ``SPQEngine.execute`` call per query (the per-query
+  path rebuilds the grid, re-locates every data object and re-scans every
+  feature for keyword pruning each time), and
+* **batch**: one ``SPQEngine.execute_many`` call (index built once per grid
+  size, data-object shuffle preloaded, per-radius duplication lists cached,
+  feature candidates served by the inverted index).
+
+The script verifies the two paths return identical results, reports the
+wall-clock speedup per algorithm, and writes a JSON summary.  Run it as::
+
+    PYTHONPATH=src python benchmarks/bench_batch_reuse.py
+    python benchmarks/bench_batch_reuse.py --check   # exit 1 if < --min-speedup
+
+With the defaults (30,000 objects, grid 16, single-keyword queries over 5
+repeated keyword sets) the default algorithm clears a 2x speedup comfortably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.engine import SPQEngine
+from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+from repro.model.query import SpatialPreferenceQuery
+
+DEFAULT_ALGORITHMS = ("espq-sco", "espq-len", "pspq")
+
+
+def build_workload(
+    num_queries: int, distinct_keyword_sets: int, keywords_per_query: int,
+    radius: float, k: int, seed: int,
+) -> List[SpatialPreferenceQuery]:
+    """Repeated-keyword workload: ``num_queries`` queries cycling through a
+    small pool of keyword sets, as produced by many users asking popular
+    queries."""
+    rng = random.Random(seed)
+    pool = [
+        frozenset(f"w{rng.randrange(1000):04d}" for _ in range(keywords_per_query))
+        for _ in range(distinct_keyword_sets)
+    ]
+    return [
+        SpatialPreferenceQuery.create(k=k, radius=radius, keywords=pool[i % len(pool)])
+        for i in range(num_queries)
+    ]
+
+
+def run_once(data, features, queries, algorithm: str, grid_size: int) -> Dict[str, object]:
+    """Time the sequential and batch paths on fresh engines; verify equality."""
+    sequential_engine = SPQEngine(data, features)
+    started = time.perf_counter()
+    sequential = [
+        sequential_engine.execute(query, algorithm=algorithm, grid_size=grid_size)
+        for query in queries
+    ]
+    sequential_seconds = time.perf_counter() - started
+
+    batch_engine = SPQEngine(data, features)
+    started = time.perf_counter()
+    batch = batch_engine.execute_many(queries, algorithm=algorithm, grid_size=grid_size)
+    batch_seconds = time.perf_counter() - started
+
+    identical = all(
+        s.object_ids() == b.object_ids() and s.scores() == b.scores()
+        for s, b in zip(sequential, batch)
+    )
+    return {
+        "algorithm": algorithm,
+        "num_queries": len(queries),
+        "sequential_seconds": sequential_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": sequential_seconds / batch_seconds if batch_seconds else float("inf"),
+        "identical_results": identical,
+        "index_cache": batch_engine.index_cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=30_000)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--keyword-sets", type=int, default=5,
+                        help="distinct keyword sets the workload cycles through")
+    parser.add_argument("--keywords-per-query", type=int, default=1)
+    parser.add_argument("--radius", type=float, default=2.0)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--grid-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--algorithms", default=",".join(DEFAULT_ALGORITHMS),
+                        help="comma-separated list to benchmark")
+    parser.add_argument("--json", default=None, help="write the summary JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the default algorithm reaches --min-speedup "
+                             "and all results are identical")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    config = SyntheticDatasetConfig(num_objects=args.objects, seed=args.seed)
+    data, features = generate_uniform(config)
+    queries = build_workload(
+        args.queries, args.keyword_sets, args.keywords_per_query,
+        args.radius, args.k, args.seed,
+    )
+
+    algorithms = [name for name in args.algorithms.split(",") if name]
+    runs = []
+    print(f"workload: {len(queries)} queries over {args.keyword_sets} keyword sets, "
+          f"{args.objects} objects, grid {args.grid_size}")
+    print(f"{'algorithm':<10} {'sequential':>11} {'batch':>8} {'speedup':>8}  identical")
+    for algorithm in algorithms:
+        run = run_once(data, features, queries, algorithm, args.grid_size)
+        runs.append(run)
+        print(f"{algorithm:<10} {run['sequential_seconds']:>10.2f}s "
+              f"{run['batch_seconds']:>7.2f}s {run['speedup']:>7.2f}x  "
+              f"{run['identical_results']}")
+
+    summary = {
+        "workload": {
+            "objects": args.objects,
+            "queries": args.queries,
+            "keyword_sets": args.keyword_sets,
+            "keywords_per_query": args.keywords_per_query,
+            "radius": args.radius,
+            "k": args.k,
+            "grid_size": args.grid_size,
+            "seed": args.seed,
+        },
+        "runs": runs,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.check:
+        primary = runs[0]
+        if not all(run["identical_results"] for run in runs):
+            print("FAIL: batch results differ from sequential results", file=sys.stderr)
+            return 1
+        if primary["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: {primary['algorithm']} speedup {primary['speedup']:.2f}x "
+                f"below required {args.min_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: {primary['algorithm']} speedup {primary['speedup']:.2f}x "
+              f">= {args.min_speedup}x, all results identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,6 @@ import pytest
 
 from repro.core.jobs import PSPQJob
 from repro.mapreduce.runtime import LocalJobRunner
-from benchmarks.conftest import execute
 
 GRID_SIZES = (4, 8, 16)
 

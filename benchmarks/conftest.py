@@ -13,7 +13,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import (
-    DEFAULT_NUM_OBJECTS,
     _clustered_spec,
     _flickr_spec,
     _twitter_spec,

@@ -94,10 +94,14 @@ def main(argv=None) -> int:
         out.write("# Regenerated experiment series\n")
         out.write(f"\nDatasets: {args.objects} objects each (scaled down from the paper).\n")
         _write_panels(out, "Figure 5 -- Flickr-like (FL)", experiments.figure5_flickr(args.objects))
-        _write_panels(out, "Figure 6 -- Twitter-like (TW)", experiments.figure6_twitter(args.objects))
+        _write_panels(
+            out, "Figure 6 -- Twitter-like (TW)", experiments.figure6_twitter(args.objects)
+        )
         _write_panels(out, "Figure 7 -- Uniform (UN)", experiments.figure7_uniform(args.objects))
         _write_panels(out, "Figure 8 -- Scalability", experiments.figure8_scalability())
-        _write_panels(out, "Figure 9 -- Clustered (CL)", experiments.figure9_clustered(args.objects))
+        _write_panels(
+            out, "Figure 9 -- Clustered (CL)", experiments.figure9_clustered(args.objects)
+        )
         _write_load_balance(out, args.objects)
         _write_duplication(out)
         _write_cell_size(out)

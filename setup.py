@@ -1,4 +1,6 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
+"""Legacy shim: lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+work offline (containers without the ``wheel`` package cannot build PEP 660
+editable wheels).  All metadata lives in ``pyproject.toml``."""
 from setuptools import setup
 
 setup()

@@ -17,6 +17,7 @@ paper-versus-measured record of every figure.
 """
 
 from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.index import BatchQuery, DatasetIndex, IndexCache
 from repro.model import (
     DataObject,
     FeatureObject,
@@ -26,12 +27,15 @@ from repro.model import (
     TopKList,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SPQEngine",
     "EngineConfig",
     "ALGORITHMS",
+    "BatchQuery",
+    "DatasetIndex",
+    "IndexCache",
     "DataObject",
     "FeatureObject",
     "SpatialPreferenceQuery",

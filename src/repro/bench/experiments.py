@@ -15,7 +15,7 @@ cells keep a comparable object population.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Dict, Sequence
 
 from repro.bench.harness import (
     ExperimentSpec,

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.centralized import dataset_extent
-from repro.core.engine import EngineConfig, SPQEngine
-from repro.datagen.queries import QueryWorkload, radius_from_cell_fraction
+from repro.core.engine import SPQEngine
+from repro.datagen.queries import QueryWorkload
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
 from repro.text.vocabulary import Vocabulary

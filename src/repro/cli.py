@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the full workflow a downstream user needs:
+Five subcommands cover the full workflow a downstream user needs:
 
 * ``generate``    -- create a dataset file (UN / CL / FL-like / TW-like).
 * ``query``       -- run a spatial preference query over a dataset file with
   any of the algorithms and print the top-k plus execution statistics.
+* ``batch``       -- run many queries from a JSONL file through the batch
+  engine (shared index builds) and emit one JSON result line per query.
 * ``analyze``     -- print the Section 6 analytical tables (duplication factor
   and cell-size cost) for given parameters.
 * ``experiments`` -- regenerate the figure series (same engine as
@@ -15,6 +17,7 @@ Examples::
     python -m repro generate --dataset uniform --objects 10000 --output un.tsv
     python -m repro query --input un.tsv --keywords w0001,w0002 --k 10 \
         --radius-fraction 0.1 --grid-size 20 --algorithm espq-sco
+    python -m repro batch --input un.tsv --queries queries.jsonl --output -
     python -m repro analyze duplication --cell-side 10 --radius 2
     python -m repro experiments --figure 7 --objects 4000
 """
@@ -22,6 +25,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -29,6 +33,7 @@ from repro import __version__
 from repro.core.analysis import duplication_factor, reducer_cost_model
 from repro.core.centralized import dataset_extent
 from repro.core.engine import ALGORITHMS, SPQEngine
+from repro.core.scoring import SCORE_MODES
 from repro.datagen.io import load_dataset, save_dataset
 from repro.datagen.queries import radius_from_cell_fraction
 from repro.datagen.realistic import (
@@ -41,6 +46,8 @@ from repro.datagen.synthetic import (
     generate_clustered,
     generate_uniform,
 )
+from repro.exceptions import InvalidQueryError
+from repro.index.planner import BatchQuery
 from repro.model.query import SpatialPreferenceQuery
 
 DATASET_CHOICES = ("uniform", "clustered", "flickr", "twitter")
@@ -110,6 +117,154 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"  features examined:   {stats['features_examined']}")
         print(f"  score computations:  {stats['score_computations']}")
         print(f"  simulated job time:  {stats['simulated_seconds']:.1f}s")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# batch
+
+
+def _parse_batch_line(
+    line: str, line_number: int, args: argparse.Namespace, extent
+) -> BatchQuery:
+    """One JSONL query spec -> a BatchQuery with per-line overrides."""
+    try:
+        spec = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"line {line_number}: invalid JSON ({exc})") from exc
+    if not isinstance(spec, dict):
+        raise ValueError(f"line {line_number}: expected a JSON object")
+
+    keywords = spec.get("keywords")
+    if isinstance(keywords, str):
+        keywords = [word for word in keywords.split(",") if word]
+    if not keywords:
+        raise ValueError(f"line {line_number}: 'keywords' must be a non-empty list")
+
+    grid_size = spec.get("grid_size")
+    if grid_size is not None:
+        try:
+            grid_size = int(grid_size)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"line {line_number}: grid_size must be an integer") from exc
+        if grid_size < 1:
+            raise ValueError(f"line {line_number}: grid_size must be >= 1, got {grid_size}")
+
+    radius = spec.get("radius")
+    if radius is None:
+        if args.radius is not None:
+            radius = args.radius
+        else:
+            # Same rule as `repro query`: a fraction of the cell side of the
+            # grid this query actually runs on (per-line override included).
+            effective_grid = grid_size if grid_size is not None else args.grid_size
+            radius = radius_from_cell_fraction(
+                extent, effective_grid, args.radius_fraction
+            )
+    try:
+        query = SpatialPreferenceQuery.create(
+            k=int(spec.get("k", args.k)), radius=float(radius), keywords=keywords
+        )
+    except (InvalidQueryError, TypeError) as exc:
+        raise ValueError(f"line {line_number}: {exc}") from exc
+    algorithm = spec.get("algorithm")
+    if algorithm is not None and algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"line {line_number}: unknown algorithm {algorithm!r}; "
+            f"expected one of {ALGORITHMS}"
+        )
+    score_mode = spec.get("score_mode")
+    if score_mode is not None and score_mode not in SCORE_MODES:
+        raise ValueError(
+            f"line {line_number}: unknown score_mode {score_mode!r}; "
+            f"expected one of {SCORE_MODES}"
+        )
+    return BatchQuery(
+        query=query,
+        algorithm=algorithm,
+        grid_size=grid_size,
+        score_mode=score_mode,
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    data, features = load_dataset(args.input)
+    if not data:
+        print("error: dataset contains no data objects", file=sys.stderr)
+        return 2
+    extent = dataset_extent(data, features)
+
+    items: List[BatchQuery] = []
+    try:
+        handle = open(args.queries, "r", encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot read query file: {exc}", file=sys.stderr)
+        return 2
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                items.append(_parse_batch_line(line, line_number, args, extent))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    if not items:
+        print("error: query file contains no queries", file=sys.stderr)
+        return 2
+
+    engine = SPQEngine(data, features)
+    try:
+        results = engine.execute_many(
+            items, algorithm=args.algorithm, grid_size=args.grid_size
+        )
+    except InvalidQueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write output file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for item, result in zip(items, results):
+            record = {
+                "keywords": sorted(item.query.keywords),
+                "k": item.query.k,
+                "radius": item.query.radius,
+                "algorithm": item.algorithm or args.algorithm,
+                "results": [
+                    {"oid": e.obj.oid, "score": e.score, "x": e.obj.x, "y": e.obj.y}
+                    for e in result
+                ],
+            }
+            if args.stats:
+                record["stats"] = {
+                    key: result.stats.get(key)
+                    for key in (
+                        "grid_size",
+                        "shuffled_records",
+                        "features_pruned",
+                        "features_examined",
+                        "score_computations",
+                        "simulated_seconds",
+                        "index",
+                    )
+                    if key in result.stats
+                }
+            out.write(json.dumps(record) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    if args.stats:
+        cache = engine.index_cache_stats
+        print(
+            f"Executed {len(results)} queries "
+            f"(index cache: {cache['hits']} hits, {cache['misses']} misses)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -192,6 +347,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco")
     query.add_argument("--stats", action="store_true", help="print execution statistics")
     query.set_defaults(func=_cmd_query)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSONL query file through the batch engine"
+    )
+    batch.add_argument("--input", required=True, help="dataset file (TSV)")
+    batch.add_argument(
+        "--queries",
+        required=True,
+        help="JSONL file: one JSON object per query, e.g. "
+        '{"keywords": ["w0001"], "k": 10, "radius": 2.0, "algorithm": "espq-sco"}',
+    )
+    batch.add_argument(
+        "--output", default="-", help="result JSONL path, or '-' for stdout (default)"
+    )
+    batch.add_argument("--k", type=int, default=10, help="default k for query lines")
+    batch.add_argument("--radius", type=float, default=None,
+                       help="default absolute radius (overrides --radius-fraction)")
+    batch.add_argument("--radius-fraction", type=float, default=0.10,
+                       help="default radius as a fraction of the grid-cell side")
+    batch.add_argument("--grid-size", type=int, default=50)
+    batch.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco",
+                       help="default algorithm for query lines")
+    batch.add_argument("--stats", action="store_true",
+                       help="attach per-query stats and print cache summary")
+    batch.set_defaults(func=_cmd_batch)
 
     analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")
     analyze.add_argument("what", choices=("duplication", "cell-size"))

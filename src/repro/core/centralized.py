@@ -17,11 +17,11 @@ interactive examples.  Two variants are provided:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
-from repro.model.result import QueryResult, ScoredObject, TopKList
+from repro.model.result import QueryResult, TopKList
 from repro.spatial.geometry import BoundingBox
 from repro.text.similarity import non_spatial_score
 from repro.core.scoring import compute_score
@@ -84,7 +84,9 @@ class CentralizedSPQ:
             },
         )
 
-    def evaluate(self, query: SpatialPreferenceQuery, bucket_size: float | None = None) -> QueryResult:
+    def evaluate(
+        self, query: SpatialPreferenceQuery, bucket_size: float | None = None
+    ) -> QueryResult:
         """Grid-accelerated evaluation (same results as the exhaustive oracle).
 
         Feature objects with at least one query keyword are hashed into square
@@ -120,7 +122,7 @@ class CentralizedSPQ:
                 for dr in range(-reach, reach + 1):
                     for feature, score in buckets.get((col + dc, row + dr), ()):
                         examined += 1
-                        if score > best and obj.distance_to(feature) <= query.radius:
+                        if score > best and obj.within_distance(feature, query.radius):
                             best = score
             top.offer(obj, best)
         return QueryResult(

@@ -15,20 +15,32 @@ Typical use::
     for entry in result:
         print(entry.obj.oid, entry.score)
     print(result.stats["simulated_seconds"])
+
+For multi-query traffic, :meth:`SPQEngine.execute_many` amortises the
+per-query setup across a batch: it builds (or fetches from an LRU cache) a
+:class:`~repro.index.dataset_index.DatasetIndex` per grid size and feeds the
+jobs pre-partitioned records, skipping the per-query grid build, data-object
+location, keyword scan and MINDIST duplication while returning results
+identical to sequential :meth:`SPQEngine.execute` calls::
+
+    results = engine.execute_many(queries, algorithm="espq-sco")
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.centralized import CentralizedSPQ, dataset_extent
 from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob, _SPQJobBase
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import InvalidQueryError, ResultIntegrityError
+from repro.index.cache import IndexCache
+from repro.index.dataset_index import DatasetIndex
+from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
 from repro.mapreduce.cluster import SimulatedCluster, paper_cluster
 from repro.mapreduce.costmodel import CostModel, CostParameters
-from repro.mapreduce.runtime import JobResult, LocalJobRunner
+from repro.mapreduce.runtime import JobResult, LocalJobRunner, PreloadedShuffle
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
@@ -43,6 +55,11 @@ _JOB_CLASSES = {
     "espq-len": ESPQLenJob,
     "espq-sco": ESPQScoJob,
 }
+
+#: Counter group/name used to report index-side pruning (kept in sync with
+#: the map-side counter so stats look the same on both execution paths).
+_SPQ_GROUP = "spq"
+_FEATURES_PRUNED = "features_pruned"
 
 
 @dataclass
@@ -62,6 +79,8 @@ class EngineConfig:
             have a positive score (the centralized oracle naturally does
             this; the distributed algorithms, like the paper's, only report
             positively scored objects).
+        index_cache_capacity: How many :class:`DatasetIndex` instances (one
+            per grid size) the engine keeps alive for batch execution.
     """
 
     grid_size: int = 50
@@ -69,6 +88,7 @@ class EngineConfig:
     cost_parameters: CostParameters = field(default_factory=CostParameters)
     max_workers: int = 1
     pad_with_zero_scores: bool = False
+    index_cache_capacity: int = 4
 
 
 class SPQEngine:
@@ -85,6 +105,11 @@ class SPQEngine:
         self.feature_objects = list(feature_objects)
         self.config = config or EngineConfig()
         self._extent = extent
+        self._explicit_extent = extent is not None
+        self._dataset_version = 0
+        self._index_cache = IndexCache(capacity=self.config.index_cache_capacity)
+        self._oid_index: Optional[Dict[str, DataObject]] = None
+        self._oid_index_source: Optional[List[DataObject]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -101,6 +126,58 @@ class SPQEngine:
         return UniformGrid.square(self.extent, size)
 
     # ------------------------------------------------------------------ #
+    # dataset lifecycle / index cache
+
+    @property
+    def dataset_version(self) -> int:
+        """Monotonic version of the dataset snapshot; part of the index key."""
+        return self._dataset_version
+
+    @property
+    def index_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the engine's index cache."""
+        return self._index_cache.stats.as_dict()
+
+    def invalidate_indexes(self) -> None:
+        """Declare the datasets changed: drop every cached index and lookup.
+
+        Must be called after mutating :attr:`data_objects` /
+        :attr:`feature_objects` in place; :meth:`set_datasets` does it
+        automatically.
+        """
+        self._dataset_version += 1
+        self._index_cache.invalidate()
+        self._oid_index = None
+        self._oid_index_source = None
+        if not self._explicit_extent:
+            self._extent = None
+
+    def set_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> None:
+        """Replace both datasets and invalidate every derived structure."""
+        self.data_objects = list(data_objects)
+        self.feature_objects = list(feature_objects)
+        self.invalidate_indexes()
+
+    def get_index(self, grid_size: Optional[int] = None) -> DatasetIndex:
+        """A :class:`DatasetIndex` for the given grid size (cached)."""
+        index, _ = self._get_index(grid_size or self.config.grid_size)
+        return index
+
+    def _get_index(self, grid_size: int) -> "tuple[DatasetIndex, bool]":
+        key = (grid_size, self._dataset_version)
+        return self._index_cache.get_or_build(
+            key,
+            lambda: DatasetIndex(
+                self.data_objects, self.feature_objects, self.build_grid(grid_size)
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # single-query execution
 
     def execute(
         self,
@@ -127,15 +204,62 @@ class SPQEngine:
             InvalidQueryError: for an unknown algorithm name or an unsupported
                 algorithm / score-mode combination.
         """
+        self._validate(algorithm, score_mode)
+        if algorithm == "centralized":
+            return self._execute_centralized(query, score_mode)
+        grid = self.build_grid(grid_size)
+        job = self._make_job(algorithm, query, grid, score_mode)
+        return self._run_job(job, grid, query, self._input_records())
+
+    def execute_many(
+        self,
+        queries: Sequence[Union[SpatialPreferenceQuery, BatchQuery]],
+        algorithm: str = "espq-sco",
+        grid_size: Optional[int] = None,
+        score_mode: str = "range",
+    ) -> List[QueryResult]:
+        """Run a batch of queries, sharing index builds across them.
+
+        Each element of ``queries`` is either a plain
+        :class:`SpatialPreferenceQuery` (executed with the call's default
+        ``algorithm`` / ``grid_size`` / ``score_mode``) or a
+        :class:`~repro.index.planner.BatchQuery` carrying per-query overrides.
+
+        The batch planner groups queries by grid size and score mode so that
+        one :class:`DatasetIndex` build (or cache hit) serves every query of
+        a group, and per-radius duplication lists computed for one query are
+        reused by every later query with the same radius.  Results are
+        returned in input order and are identical to what per-query
+        :meth:`execute` calls would produce.
+
+        Raises:
+            InvalidQueryError: if any item is invalid; validation happens
+                up front, before any query runs.
+        """
+        plan = plan_batch(
+            queries,
+            default_algorithm=algorithm,
+            default_grid_size=grid_size or self.config.grid_size,
+            default_score_mode=score_mode,
+        )
+        for item in plan:
+            self._validate(item.algorithm, item.score_mode)
+
+        results: List[Optional[QueryResult]] = [None] * len(plan)
+        for item in plan:
+            results[item.position] = self._execute_planned(item)
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _validate(self, algorithm: str, score_mode: str) -> None:
         if algorithm not in ALGORITHMS:
             raise InvalidQueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
         if algorithm == "centralized":
-            oracle = CentralizedSPQ(self.data_objects, self.feature_objects)
-            if score_mode == "range":
-                return oracle.evaluate(query)
-            return oracle.evaluate_exhaustive(query, mode=score_mode)
+            return
         if score_mode != "range" and algorithm != "pspq":
             raise InvalidQueryError(
                 f"algorithm {algorithm!r} supports only the 'range' score mode"
@@ -144,30 +268,74 @@ class SPQEngine:
             raise InvalidQueryError(
                 "the 'nearest' score mode is only available with algorithm='centralized'"
             )
-        return self._execute_mapreduce(query, algorithm, grid_size, score_mode)
+        if algorithm == "pspq" and score_mode not in ("range", "influence"):
+            raise InvalidQueryError(
+                f"pspq supports score modes 'range' and 'influence', got {score_mode!r}"
+            )
 
-    # ------------------------------------------------------------------ #
-
-    def _execute_mapreduce(
-        self,
-        query: SpatialPreferenceQuery,
-        algorithm: str,
-        grid_size: Optional[int],
-        score_mode: str = "range",
+    def _execute_centralized(
+        self, query: SpatialPreferenceQuery, score_mode: str
     ) -> QueryResult:
-        grid = self.build_grid(grid_size)
+        oracle = CentralizedSPQ(self.data_objects, self.feature_objects)
+        if score_mode == "range":
+            return oracle.evaluate(query)
+        return oracle.evaluate_exhaustive(query, mode=score_mode)
+
+    def _execute_planned(self, item: PlannedQuery) -> QueryResult:
+        if item.algorithm == "centralized":
+            return self._execute_centralized(item.query, item.score_mode)
+        index, cache_hit = self._get_index(item.grid_size)
+        prepared = index.prepare(item.query)
+        job = self._make_job(item.algorithm, item.query, index.grid, item.score_mode)
+        job.share_feature_sizes(index.feature_sizes)
+        return self._run_job(
+            job,
+            index.grid,
+            item.query,
+            prepared.records,
+            preloaded=index.data_shuffle(job),
+            pruned_by_index=prepared.num_pruned,
+            index_stats={
+                "index_cache_hit": cache_hit,
+                "radius_cache_hit": prepared.radius_cache_hit,
+                "candidate_features": prepared.num_candidates,
+                "index_build_seconds": index.stats.build_seconds,
+            },
+        )
+
+    def _make_job(
+        self,
+        algorithm: str,
+        query: SpatialPreferenceQuery,
+        grid: UniformGrid,
+        score_mode: str,
+    ) -> _SPQJobBase:
         job_class = _JOB_CLASSES[algorithm]
         if algorithm == "pspq":
-            job: _SPQJobBase = job_class(query, grid, score_mode=score_mode)
-        else:
-            job = job_class(query, grid)
+            return job_class(query, grid, score_mode=score_mode)
+        return job_class(query, grid)
 
+    def _run_job(
+        self,
+        job: _SPQJobBase,
+        grid: UniformGrid,
+        query: SpatialPreferenceQuery,
+        records: Iterable,
+        preloaded: Optional[PreloadedShuffle] = None,
+        pruned_by_index: int = 0,
+        index_stats: Optional[Dict[str, object]] = None,
+    ) -> QueryResult:
         runner = LocalJobRunner(
             num_reducers=grid.num_cells, max_workers=self.config.max_workers
         )
         started = time.perf_counter()
-        job_result = runner.run(job, self._input_records())
+        job_result = runner.run(job, records, preloaded=preloaded)
         elapsed = time.perf_counter() - started
+        if pruned_by_index:
+            # Features the index pruned before the map phase ever saw them;
+            # folding them into the map-side counter keeps the reported
+            # statistics comparable across the two execution paths.
+            job_result.counters.increment(_SPQ_GROUP, _FEATURES_PRUNED, pruned_by_index)
 
         entries = self._merge(job_result, query)
         if self.config.pad_with_zero_scores and len(entries) < query.k:
@@ -193,6 +361,8 @@ class SPQEngine:
             "feature_duplicates": job_result.counters.get("spq", "feature_duplicates"),
             "features_pruned": job_result.counters.get("spq", "features_pruned"),
         }
+        if index_stats:
+            stats["index"] = dict(index_stats)
         return QueryResult(entries, stats=stats)
 
     def _input_records(self) -> Iterable:
@@ -200,12 +370,33 @@ class SPQEngine:
         yield from self.data_objects
         yield from self.feature_objects
 
+    def _oid_lookup(self) -> Dict[str, DataObject]:
+        """Cached oid -> data object mapping (reset by :meth:`invalidate_indexes`).
+
+        Guarded by the identity of the ``data_objects`` list (a strong
+        reference is kept, so the check cannot be fooled by id reuse after
+        garbage collection) so that code which *reassigns* the attribute
+        (rather than calling :meth:`set_datasets`) still gets a fresh map;
+        in-place mutation continues to require an explicit
+        :meth:`invalidate_indexes`.
+        """
+        if self._oid_index is None or self._oid_index_source is not self.data_objects:
+            self._oid_index = {obj.oid: obj for obj in self.data_objects}
+            self._oid_index_source = self.data_objects
+        return self._oid_index
+
     def _merge(self, job_result: JobResult, query: SpatialPreferenceQuery) -> List[ScoredObject]:
         """Merge per-cell outputs ``(cell_id, object_id, score)`` into the global top-k."""
-        index = {obj.oid: obj for obj in self.data_objects}
+        index = self._oid_lookup()
         by_cell: Dict[int, List[ScoredObject]] = {}
         for cell_id, oid, score in job_result.outputs:
-            obj = index.get(oid, DataObject(oid=oid, x=0.0, y=0.0))
+            obj = index.get(oid)
+            if obj is None:
+                raise ResultIntegrityError(
+                    f"job {job_result.job_name!r} reported unknown data object "
+                    f"{oid!r} from cell {cell_id}; the datasets may have been "
+                    "mutated without invalidate_indexes()"
+                )
             by_cell.setdefault(cell_id, []).append(ScoredObject(obj, score))
         return merge_top_k(by_cell.values(), query.k)
 

@@ -27,8 +27,9 @@ which the cluster cost model converts into simulated reduce time.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
 
+from repro.index.records import PreAssignedData, PreAssignedFeature
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 from repro.core.scoring import feature_contribution
@@ -70,6 +71,11 @@ class _SPQJobBase(MapReduceJob):
             pruning rule -- the query result is unaffected either way.
     """
 
+    #: A cell whose reduce group holds only (preloaded) data objects has no
+    #: feature to score against, so all three algorithms output nothing for
+    #: it; the runner may skip such reduce tasks in pre-partitioned runs.
+    preloaded_only_partitions_are_empty = True
+
     def __init__(
         self,
         query: SpatialPreferenceQuery,
@@ -80,11 +86,34 @@ class _SPQJobBase(MapReduceJob):
         self.grid = grid
         self.prune_irrelevant = prune_irrelevant
         self.partitioner = GridPartitioner(grid, query.radius)
+        # oid -> serialized size; a feature's size is recomputed for every
+        # duplicated copy otherwise, which shows up hot in profiles.
+        self._feature_sizes: Dict[str, int] = {}
+
+    def share_feature_sizes(self, cache: Dict[str, int]) -> None:
+        """Adopt a size memo that outlives this job (see DatasetIndex)."""
+        self._feature_sizes = cache
 
     # -------------------------------------------------------------- #
     # map side
 
     def map(self, record: Any, counters: Counters) -> Iterable[Tuple[Any, Any]]:
+        if isinstance(record, PreAssignedData):
+            # Pre-partitioned input from a DatasetIndex: the spatial work of
+            # the map phase is already done, emit the same key-value pair the
+            # normal path would produce.
+            counters.increment(SPQ_GROUP, DATA_OBJECTS)
+            yield self._data_key(record.cell_id), record.obj
+            return
+        if isinstance(record, PreAssignedFeature):
+            # Keyword pruning happened index-side (the record would not exist
+            # otherwise), so the feature counts as kept, not pruned.
+            counters.increment(SPQ_GROUP, FEATURES_KEPT)
+            counters.increment(SPQ_GROUP, FEATURE_DUPLICATES, len(record.cell_ids) - 1)
+            value = self._feature_value(record.obj)
+            for cell_id in record.cell_ids:
+                yield self._feature_key(cell_id, record.obj), value
+            return
         if isinstance(record, DataObject):
             counters.increment(SPQ_GROUP, DATA_OBJECTS)
             cell_id = self.partitioner.assign_data_object(record)
@@ -129,7 +158,11 @@ class _SPQJobBase(MapReduceJob):
         if isinstance(value, tuple):
             value = value[0]
         if isinstance(value, FeatureObject):
-            return 24 + sum(len(word) + 1 for word in value.keywords)
+            size = self._feature_sizes.get(value.oid)
+            if size is None:
+                size = 24 + sum(len(word) + 1 for word in value.keywords)
+                self._feature_sizes[value.oid] = size
+            return size
         return 24
 
 
@@ -172,22 +205,37 @@ class PSPQJob(_SPQJobBase):
     ) -> Iterable[Tuple[int, str, float]]:
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
+        examined = 0
+        computations = 0
+        range_mode = self.score_mode == "range"
+        radius = self.query.radius
         for value in values:
             if isinstance(value, DataObject):
                 data_objects.append(value)
                 continue
             feature: FeatureObject = value
-            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            examined += 1
             score = non_spatial_score(feature.keywords, self.query.keywords)
             if score <= top.threshold:
                 # The feature cannot improve the current top-k; skip the
                 # nested loop (Algorithm 2, line 9) but keep reading input.
                 continue
-            for obj in data_objects:
-                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
-                contribution = feature_contribution(obj, feature, self.query, self.score_mode)
-                if contribution > 0.0:
-                    top.offer(obj, contribution)
+            computations += len(data_objects)
+            if range_mode:
+                for obj in data_objects:
+                    if obj.within_distance(feature, radius):
+                        top.offer(obj, score)
+            else:
+                for obj in data_objects:
+                    contribution = feature_contribution(
+                        obj, feature, self.query, self.score_mode
+                    )
+                    if contribution > 0.0:
+                        top.offer(obj, contribution)
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
         return [(group, entry.obj.oid, entry.score) for entry in top.top()]
 
 
@@ -213,12 +261,15 @@ class ESPQLenJob(_SPQJobBase):
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
         query_len = self.query.keyword_count
+        radius = self.query.radius
+        examined = 0
+        computations = 0
         for value in values:
             if isinstance(value, DataObject):
                 data_objects.append(value)
                 continue
             feature: FeatureObject = value
-            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            examined += 1
             bound = upper_bound_for_length(feature.keyword_count, query_len)
             tau = top.threshold
             if len(top) >= self.query.k and tau >= bound:
@@ -229,10 +280,14 @@ class ESPQLenJob(_SPQJobBase):
             score = non_spatial_score(feature.keywords, self.query.keywords)
             if score <= tau:
                 continue
+            computations += len(data_objects)
             for obj in data_objects:
-                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
-                if obj.distance_to(feature) <= self.query.radius:
+                if obj.within_distance(feature, radius):
                     top.offer(obj, score)
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
         return [(group, entry.obj.oid, entry.score) for entry in top.top()]
 
 
@@ -272,12 +327,17 @@ class ESPQScoJob(_SPQJobBase):
         data_objects: List[DataObject] = []
         reported: List[Tuple[int, str, float]] = []
         reported_ids: set = set()
+        k = self.query.k
+        radius = self.query.radius
+        examined = 0
+        computations = 0
+        done = False
         for value in values:
             if isinstance(value, DataObject):
                 data_objects.append(value)
                 continue
             feature, score = value
-            counters.increment(WORK_GROUP, FEATURES_EXAMINED)
+            examined += 1
             if score <= 0.0:
                 # Scores are sorted descending: nothing below can contribute.
                 counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
@@ -285,13 +345,20 @@ class ESPQScoJob(_SPQJobBase):
             for obj in data_objects:
                 if obj.oid in reported_ids:
                     continue
-                counters.increment(WORK_GROUP, SCORE_COMPUTATIONS)
-                if obj.distance_to(feature) <= self.query.radius:
+                computations += 1
+                if obj.within_distance(feature, radius):
                     # Lemma 3: the feature currently examined has the highest
                     # score among all unseen features, so tau(obj) == score.
                     reported.append((group, obj.oid, score))
                     reported_ids.add(obj.oid)
-                    if len(reported) >= self.query.k:
+                    if len(reported) >= k:
                         counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
-                        return reported
+                        done = True
+                        break
+            if done:
+                break
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
         return reported

@@ -55,13 +55,12 @@ def feature_contribution(
     textual = non_spatial_score(feature.keywords, query.keywords)
     if textual == 0.0:
         return 0.0
-    distance = obj.distance_to(feature)
-    if distance > query.radius:
+    if not obj.within_distance(feature, query.radius):
         return 0.0
     if mode == "influence":
         if query.radius <= 0:
             raise ValueError("influence score requires a positive radius")
-        return textual * 2.0 ** (-distance / query.radius)
+        return textual * 2.0 ** (-obj.distance_to(feature) / query.radius)
     return textual
 
 

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.model.objects import DataObject, FeatureObject
 from repro.spatial.geometry import BoundingBox

@@ -43,3 +43,12 @@ class HDFSError(ReproError):
 
 class AnalysisError(ReproError):
     """A theoretical-analysis helper received parameters outside its domain."""
+
+
+class ResultIntegrityError(ReproError):
+    """A job produced output referencing an object unknown to the engine.
+
+    This indicates corrupted job output or datasets mutated behind the
+    engine's back (without ``SPQEngine.invalidate_indexes`` /
+    ``set_datasets``); silently fabricating placeholder objects would mask
+    the bug, so the engine raises instead."""

@@ -1,0 +1,32 @@
+"""Reusable index layer: amortise per-query work across a batch.
+
+Public API:
+
+* :class:`~repro.index.dataset_index.DatasetIndex` -- precomputed grid cell
+  assignments, keyword inverted index and per-radius feature duplication for
+  one dataset snapshot and grid size.
+* :class:`~repro.index.cache.IndexCache` -- LRU cache of built indexes,
+  keyed by ``(grid_size, dataset_version)`` by the engine.
+* :class:`~repro.index.planner.BatchQuery` / :func:`~repro.index.planner.plan_batch`
+  -- per-query overrides and execution ordering for ``SPQEngine.execute_many``.
+* :class:`~repro.index.records.PreAssignedData` / ``PreAssignedFeature`` --
+  the pre-partitioned record types the SPQ jobs consume directly.
+"""
+
+from repro.index.cache import IndexCache, IndexCacheStats
+from repro.index.dataset_index import DatasetIndex, IndexBuildStats, PreparedQuery
+from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
+from repro.index.records import PreAssignedData, PreAssignedFeature
+
+__all__ = [
+    "DatasetIndex",
+    "IndexBuildStats",
+    "PreparedQuery",
+    "IndexCache",
+    "IndexCacheStats",
+    "BatchQuery",
+    "PlannedQuery",
+    "plan_batch",
+    "PreAssignedData",
+    "PreAssignedFeature",
+]

@@ -1,0 +1,95 @@
+"""LRU cache of :class:`~repro.index.dataset_index.DatasetIndex` instances.
+
+The engine keys entries by ``(grid_size, dataset_version)``: the grid size
+because every index is specialised for one grid, the dataset version because
+an index built over a stale dataset snapshot must never serve a query after
+the datasets changed.  Bumping the version (``SPQEngine.invalidate_indexes``)
+makes every existing key unreachable, and :meth:`IndexCache.invalidate`
+drops the entries themselves.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.index.dataset_index import DatasetIndex
+
+
+@dataclass
+class IndexCacheStats:
+    """Hit/miss accounting of one :class:`IndexCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class IndexCache:
+    """Bounded LRU mapping of cache keys to built dataset indexes.
+
+    Args:
+        capacity: Maximum number of indexes kept alive; the least recently
+            used entry is evicted first.  Each index holds per-radius
+            duplication lists, so the capacity bounds memory at roughly
+            ``capacity * (|O| + |F| * radii)`` references.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, DatasetIndex]" = OrderedDict()
+        self.stats = IndexCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], DatasetIndex]
+    ) -> "tuple[DatasetIndex, bool]":
+        """Return ``(index, was_hit)``, building and inserting on a miss."""
+        index = self._entries.get(key)
+        if index is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return index, True
+        self.stats.misses += 1
+        index = builder()
+        self._entries[key] = index
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return index, False
+
+    def invalidate(self, key: Optional[Hashable] = None) -> int:
+        """Drop one entry (or all entries when ``key`` is None).
+
+        Returns the number of entries removed.
+        """
+        if key is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            removed = 1 if self._entries.pop(key, None) is not None else 0
+        self.stats.invalidations += removed
+        return removed

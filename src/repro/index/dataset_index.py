@@ -1,0 +1,229 @@
+"""Reusable per-dataset index shared across queries.
+
+The seed engine re-derives everything per query: it rebuilds the grid,
+re-locates every data object, re-scans every feature object for keyword
+pruning and recomputes the MINDIST neighbour duplication.  For a single query
+that is the paper's model (the grid *is* query-time state), but under
+multi-query traffic almost all of that work is identical between queries and
+can be amortised.
+
+:class:`DatasetIndex` precomputes, for one grid (i.e. one grid size over one
+dataset snapshot):
+
+* the cell assignment of every data object (radius-independent),
+* a keyword -> feature inverted index with storage positions
+  (:class:`~repro.text.inverted_index.PositionalInvertedIndex`), replacing the
+  per-query keyword scan of the map phase, and
+* per-radius feature duplication lists (Lemma 1 MINDIST neighbours), computed
+  lazily the first time a radius is seen and cached for every later query
+  with the same radius.
+
+:meth:`DatasetIndex.prepare` turns a query into a stream of pre-assigned
+records that the SPQ jobs consume directly, short-circuiting the map phase
+while producing bit-identical shuffle output (same keys, same values, same
+emission order) -- so batch results equal sequential results exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.index.records import PreAssignedData, PreAssignedFeature
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import LocalJobRunner, PreloadedShuffle
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.spatial.grid import UniformGrid
+from repro.spatial.partitioning import GridPartitioner
+from repro.text.inverted_index import PositionalInvertedIndex
+
+
+@dataclass
+class PreparedQuery:
+    """The pre-partitioned input of one query run.
+
+    Attributes:
+        records: Pre-assigned feature records in storage order -- exactly the
+            order the sequential map phase would have streamed the surviving
+            features.  Data objects are not re-streamed at all: their shuffle
+            entries come preloaded (see :meth:`DatasetIndex.data_shuffle`).
+        num_candidates: Feature objects that survived keyword pruning.
+        num_pruned: Feature objects dropped by the index-side pruning rule
+            (what the map phase would have counted as ``features_pruned``).
+        radius_cache_hit: True when the duplication lists of *this query's
+            candidate features* were already cached for its radius -- i.e.
+            no Lemma-1 work was performed for this query.
+    """
+
+    records: Iterator[object]
+    num_candidates: int
+    num_pruned: int
+    radius_cache_hit: bool
+
+
+@dataclass
+class IndexBuildStats:
+    """Cost and size accounting of one :class:`DatasetIndex` build."""
+
+    build_seconds: float = 0.0
+    num_data: int = 0
+    num_features: int = 0
+    vocabulary_size: int = 0
+    radii_cached: List[float] = field(default_factory=list)
+
+
+class DatasetIndex:
+    """Precomputed grid/keyword index over one dataset snapshot.
+
+    Args:
+        data_objects: The object dataset ``O`` in storage order.
+        feature_objects: The feature dataset ``F`` in storage order.
+        grid: The uniform grid this index is specialised for (one index per
+            grid size; the engine's :class:`~repro.index.cache.IndexCache`
+            keeps several around).
+
+    The index holds references to the same object instances as the engine, so
+    it must be discarded (see ``SPQEngine.invalidate_indexes``) whenever the
+    underlying datasets change.
+    """
+
+    def __init__(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        grid: UniformGrid,
+    ) -> None:
+        started = time.perf_counter()
+        self.grid = grid
+        self._data_objects = list(data_objects)
+        self._feature_objects = list(feature_objects)
+
+        partitioner = GridPartitioner(grid, radius=0.0)
+        data_cells = partitioner.assign_data_objects(self._data_objects)
+        self._data_records: List[PreAssignedData] = [
+            PreAssignedData(obj, cell_id)
+            for obj, cell_id in zip(self._data_objects, data_cells)
+        ]
+        self._inverted = PositionalInvertedIndex(self._feature_objects)
+        #: radius -> {feature position -> duplication cell tuple}, filled
+        #: lazily for the features queries actually touch.
+        self._feature_cells: Dict[float, Dict[int, Tuple[int, ...]]] = {}
+        #: job class -> preloaded data-object shuffle snapshot.
+        self._data_shuffles: Dict[type, PreloadedShuffle] = {}
+        #: oid -> estimated serialized size, shared by every job of a batch
+        #: (a job's own memo dies with the query; this one lives with the
+        #: dataset snapshot, so sizes are computed once per feature ever).
+        self.feature_sizes: Dict[str, int] = {}
+
+        self.stats = IndexBuildStats(
+            build_seconds=time.perf_counter() - started,
+            num_data=len(self._data_objects),
+            num_features=len(self._feature_objects),
+            vocabulary_size=self._inverted.vocabulary_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def num_data(self) -> int:
+        return len(self._data_objects)
+
+    @property
+    def num_features(self) -> int:
+        return len(self._feature_objects)
+
+    @property
+    def inverted_index(self) -> PositionalInvertedIndex:
+        """The underlying keyword index (shared, do not mutate)."""
+        return self._inverted
+
+    @property
+    def cached_radii(self) -> List[float]:
+        """Radii whose duplication lists are currently cached."""
+        return sorted(self._feature_cells)
+
+    def data_cell_of(self, position: int) -> int:
+        """Precomputed cell id of the data object at ``position``."""
+        return self._data_records[position].cell_id
+
+    # ------------------------------------------------------------------ #
+    # per-radius duplication cache
+
+    def feature_cells(
+        self, radius: float, positions: Optional[Iterable[int]] = None
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Duplication cell lists for the given feature positions at ``radius``.
+
+        Lemma 1 assignments are computed lazily -- only for the features a
+        query actually touches (all of them when ``positions`` is None) --
+        and cached per radius, so repeated-radius workloads hit the cache
+        while one-off radii pay only for their own candidates, exactly like
+        the sequential map phase.
+        """
+        cache = self._feature_cells.get(radius)
+        if cache is None:
+            cache = self._feature_cells[radius] = {}
+            self.stats.radii_cached = self.cached_radii
+        if positions is None:
+            positions = range(self.num_features)
+        partitioner: Optional[GridPartitioner] = None
+        features = self._feature_objects
+        for position in positions:
+            if position not in cache:
+                if partitioner is None:
+                    partitioner = GridPartitioner(self.grid, radius)
+                cache[position] = tuple(
+                    partitioner.assign_feature_object(features[position])
+                )
+        return cache
+
+    # ------------------------------------------------------------------ #
+    # preloaded data-object shuffle
+
+    def data_shuffle(self, job: MapReduceJob) -> PreloadedShuffle:
+        """Shuffle-ready data-object entries for one job class (cached).
+
+        The map output of a data object depends only on its grid cell and the
+        job class's composite-key shape -- never on the query -- so the
+        bucketed ``(sort_key, sequence, key, value)`` entries are computed
+        once per job class and injected into every subsequent run, removing
+        the data objects from the per-query map phase entirely.
+        """
+        key = type(job)
+        cached = self._data_shuffles.get(key)
+        if cached is None:
+            runner = LocalJobRunner(num_reducers=self.grid.num_cells)
+            cached = runner.build_preloaded_shuffle(job, self._data_records)
+            self._data_shuffles[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # query preparation
+
+    def candidate_positions(self, keywords) -> List[int]:
+        """Storage positions of features relevant to the query keywords."""
+        return self._inverted.candidate_positions(keywords)
+
+    def prepare(self, query: SpatialPreferenceQuery) -> PreparedQuery:
+        """Build the pre-partitioned feature record stream for one query."""
+        candidates = self.candidate_positions(query.keywords)
+        already = self._feature_cells.get(query.radius)
+        radius_cache_hit = already is not None and all(
+            position in already for position in candidates
+        )
+        cells = self.feature_cells(query.radius, candidates)
+
+        def records() -> Iterator[object]:
+            features = self._feature_objects
+            for position in candidates:
+                yield PreAssignedFeature(features[position], cells[position])
+
+        return PreparedQuery(
+            records=records(),
+            num_candidates=len(candidates),
+            num_pruned=self.num_features - len(candidates),
+            radius_cache_hit=radius_cache_hit,
+        )

@@ -1,0 +1,42 @@
+"""Pre-assigned input records for the short-circuited map phase.
+
+When a query runs through a :class:`~repro.index.dataset_index.DatasetIndex`,
+the spatial work of the map phase (grid location, keyword pruning, MINDIST
+neighbour duplication) has already been done at index-build time.  The engine
+then feeds the job runner records of the two types below instead of raw
+:class:`~repro.model.objects.DataObject` / FeatureObject records; the SPQ jobs
+recognise them and emit exactly the key-value pairs the normal map phase would
+have produced, skipping the per-query recomputation.
+
+This module deliberately imports only :mod:`repro.model` so that
+:mod:`repro.core.jobs` can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.objects import DataObject, FeatureObject
+
+
+@dataclass(frozen=True)
+class PreAssignedData:
+    """A data object together with its precomputed grid cell."""
+
+    obj: DataObject
+    cell_id: int
+
+
+@dataclass(frozen=True)
+class PreAssignedFeature:
+    """A feature object with its precomputed duplication cell list.
+
+    ``cell_ids`` lists every cell the feature must reach (Lemma 1), with the
+    enclosing cell first -- the same order the map-side partitioner produces.
+    The feature is guaranteed relevant (shares a keyword with the query);
+    irrelevant features are pruned before records are materialised.
+    """
+
+    obj: FeatureObject
+    cell_ids: Tuple[int, ...]

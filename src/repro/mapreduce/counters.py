@@ -71,3 +71,4 @@ REDUCE_INPUT_GROUPS = "input_groups"
 REDUCE_INPUT_RECORDS = "input_records"
 REDUCE_CONSUMED_RECORDS = "consumed_records"
 REDUCE_OUTPUT_RECORDS = "output_records"
+REDUCE_TASKS_SKIPPED = "tasks_skipped"

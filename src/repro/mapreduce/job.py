@@ -35,6 +35,13 @@ class MapReduceJob:
     #: Human-readable job name used in reports.
     name: str = "mapreduce-job"
 
+    #: Set True when a reduce group consisting solely of preloaded-shuffle
+    #: records is guaranteed to produce no output.  The runner then skips
+    #: (and never sorts) partitions that received no live map output during a
+    #: preloaded run -- e.g. SPQ grid cells containing data objects but no
+    #: query-relevant feature, which reduce to an empty top-k list.
+    preloaded_only_partitions_are_empty: bool = False
+
     # ------------------------------------------------------------------ #
     # lifecycle hooks
 

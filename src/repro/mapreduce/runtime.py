@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobConfigurationError, JobExecutionError
 from repro.mapreduce import counters as counter_names
@@ -52,6 +52,35 @@ class ReduceTaskReport:
         if work_group:
             return sum(work_group.values())
         return self.consumed_records
+
+
+@dataclass
+class PreloadedShuffle:
+    """Shuffle-ready records injected into a run ahead of the map phase.
+
+    Built by :meth:`LocalJobRunner.build_preloaded_shuffle` from records whose
+    map output is query-independent (e.g. the data objects of an SPQ job,
+    whose composite key depends only on the grid cell).  A cached instance can
+    be injected into many runs: each run copies the per-partition entry lists
+    before appending its own map output, and merges the recorded counter
+    deltas so accounting matches a run that mapped the records itself.
+
+    Attributes:
+        partitions: Per reduce partition, the ``(sort_key, sequence, key,
+            value)`` entries exactly as :meth:`LocalJobRunner._run_map_phase`
+            would have bucketed them.
+        num_input_records: Map input records these entries represent (counts
+            toward the split/map-task accounting).
+        next_sequence: First sequence number available to live map emissions,
+            preserving the global emission order of an unpreloaded run.
+        counters: Counter deltas (map/shuffle groups plus whatever the job's
+            ``map`` incremented) the preloaded records contribute.
+    """
+
+    partitions: List[List[Tuple[Any, int, Any, Any]]]
+    num_input_records: int
+    next_sequence: int
+    counters: Counters
 
 
 @dataclass
@@ -129,14 +158,38 @@ class LocalJobRunner:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, job: MapReduceJob, records: Iterable[Any]) -> JobResult:
-        """Execute ``job`` over ``records`` and return the full result."""
+    def run(
+        self,
+        job: MapReduceJob,
+        records: Iterable[Any],
+        preloaded: Optional[PreloadedShuffle] = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``records`` and return the full result.
+
+        When ``preloaded`` is given, its shuffle entries are injected before
+        the map phase runs over ``records``; the preloaded partition lists are
+        copied, never mutated, so one :class:`PreloadedShuffle` can serve many
+        runs concurrently with per-query record streams.
+        """
         counters = Counters()
         job.setup(counters)
 
-        partitions, num_map_tasks = self._run_map_phase(job, records, counters)
-        self._sort_partitions(job, partitions)
-        outputs, reports = self._run_reduce_phase(job, partitions, counters)
+        partitions, num_map_tasks, touched = self._run_map_phase(
+            job, records, counters, preloaded
+        )
+        skipped: Optional[set] = None
+        if preloaded is not None and job.preloaded_only_partitions_are_empty:
+            # The job guarantees that a partition holding only preloaded
+            # records reduces to nothing, so those tasks never need to run
+            # (nor be sorted) -- the key saving of pre-partitioned batches.
+            skipped = {
+                index for index in range(self.num_reducers) if index not in touched
+            }
+            counters.increment(
+                counter_names.GROUP_REDUCE, counter_names.REDUCE_TASKS_SKIPPED, len(skipped)
+            )
+        self._sort_partitions(job, partitions, skipped)
+        outputs, reports = self._run_reduce_phase(job, partitions, counters, skipped)
 
         job.cleanup(counters)
         return JobResult(
@@ -152,27 +205,40 @@ class LocalJobRunner:
     # map + shuffle
 
     def _run_map_phase(
-        self, job: MapReduceJob, records: Iterable[Any], counters: Counters
-    ) -> Tuple[List[List[Tuple[Any, int, Any, Any]]], int]:
+        self,
+        job: MapReduceJob,
+        records: Iterable[Any],
+        counters: Counters,
+        preloaded: Optional[PreloadedShuffle] = None,
+    ) -> Tuple[List[List[Tuple[Any, int, Any, Any]]], int, set]:
         """Apply map to every record and bucket the output by reduce partition.
 
         Each bucket entry is ``(sort_key, sequence, key, value)``; the sequence
         number provides a stable tie-break so sorting is deterministic even
-        when sort keys collide.
+        when sort keys collide.  Returns the bucketed partitions, the map-task
+        count and the set of partition indexes that received *live* (non
+        preloaded) output.
         """
-        partitions: List[List[Tuple[Any, int, Any, Any]]] = [
-            [] for _ in range(self.num_reducers)
-        ]
-        sequence = itertools.count()
+        preloaded_records = 0
+        if preloaded is None:
+            partitions: List[List[Tuple[Any, int, Any, Any]]] = [
+                [] for _ in range(self.num_reducers)
+            ]
+            sequence = itertools.count()
+        else:
+            if len(preloaded.partitions) != self.num_reducers:
+                raise JobConfigurationError(
+                    f"preloaded shuffle has {len(preloaded.partitions)} partitions, "
+                    f"runner expects {self.num_reducers}"
+                )
+            partitions = [list(bucket) for bucket in preloaded.partitions]
+            sequence = itertools.count(preloaded.next_sequence)
+            preloaded_records = preloaded.num_input_records
+            counters.merge(preloaded.counters)
         num_records = 0
-        num_map_tasks = 0
-        current_split = 0
+        touched: set = set()
 
         for record in records:
-            if current_split == 0:
-                num_map_tasks += 1
-                current_split = self.split_size
-            current_split -= 1
             num_records += 1
             try:
                 emitted = job.map(record, counters)
@@ -185,6 +251,7 @@ class LocalJobRunner:
                         f"partition {partition} outside [0, {self.num_reducers}) for key {key!r}"
                     )
                 partitions[partition].append((job.sort_key(key), next(sequence), key, value))
+                touched.add(partition)
                 counters.increment(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
                 counters.increment(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
                 counters.increment(
@@ -193,13 +260,46 @@ class LocalJobRunner:
                     job.estimated_record_size(key, value),
                 )
         counters.increment(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS, num_records)
-        return partitions, max(num_map_tasks, 1)
+        total_inputs = num_records + preloaded_records
+        num_map_tasks = -(-total_inputs // self.split_size) if total_inputs else 1
+        return partitions, num_map_tasks, touched
+
+    # ------------------------------------------------------------------ #
+    # preloaded shuffle construction
+
+    def build_preloaded_shuffle(
+        self, job: MapReduceJob, records: Iterable[Any]
+    ) -> PreloadedShuffle:
+        """Run the map phase once over ``records`` into a reusable snapshot.
+
+        Only valid for records whose map output does not depend on per-run
+        state the caller intends to vary (the SPQ jobs' data-object keys
+        depend only on the grid, so one snapshot serves every query of a
+        batch).  Counter increments performed by ``job.map`` are captured in
+        the snapshot and replayed into each run that injects it.
+        """
+        counters = Counters()
+        partitions, _, _ = self._run_map_phase(job, records, counters)
+        next_sequence = sum(len(bucket) for bucket in partitions)
+        num_input_records = counters.get(
+            counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS
+        )
+        return PreloadedShuffle(
+            partitions=partitions,
+            num_input_records=num_input_records,
+            next_sequence=next_sequence,
+            counters=counters,
+        )
 
     @staticmethod
     def _sort_partitions(
-        job: MapReduceJob, partitions: List[List[Tuple[Any, int, Any, Any]]]
+        job: MapReduceJob,
+        partitions: List[List[Tuple[Any, int, Any, Any]]],
+        skipped: Optional[set] = None,
     ) -> None:
-        for bucket in partitions:
+        for index, bucket in enumerate(partitions):
+            if skipped is not None and index in skipped:
+                continue
             bucket.sort(key=lambda entry: (entry[0], entry[1]))
 
     # ------------------------------------------------------------------ #
@@ -210,18 +310,23 @@ class LocalJobRunner:
         job: MapReduceJob,
         partitions: List[List[Tuple[Any, int, Any, Any]]],
         counters: Counters,
+        skipped: Optional[set] = None,
     ) -> Tuple[List[Any], List[ReduceTaskReport]]:
+        tasks = [
+            (index, bucket)
+            for index, bucket in enumerate(partitions)
+            if skipped is None or index not in skipped
+        ]
         if self.max_workers == 1:
             task_results = [
-                self._run_reduce_task(job, index, bucket)
-                for index, bucket in enumerate(partitions)
+                self._run_reduce_task(job, index, bucket) for index, bucket in tasks
             ]
         else:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 task_results = list(
                     pool.map(
                         lambda pair: self._run_reduce_task(job, pair[0], pair[1]),
-                        enumerate(partitions),
+                        tasks,
                     )
                 )
 

@@ -40,6 +40,17 @@ class SpatialObject:
         dy = self.y - other.y
         return (dx * dx + dy * dy) ** 0.5
 
+    def within_distance(self, other: "SpatialObject", radius: float) -> bool:
+        """True if ``other`` lies within ``radius`` (squared comparison).
+
+        Equivalent to ``distance_to(other) <= radius`` without the square
+        root; this predicate is the hot operation of every range check, so
+        all score paths use it for both speed and bit-for-bit consistency.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy <= radius * radius
+
 
 @dataclass(frozen=True)
 class DataObject(SpatialObject):

@@ -59,7 +59,9 @@ class UniformGrid:
     def cell_id(self, col: int, row: int) -> int:
         """Row-major cell id, starting at 1 (bottom-left cell is 1)."""
         if not (0 <= col < self.cells_x and 0 <= row < self.cells_y):
-            raise InvalidGridError(f"cell ({col}, {row}) outside {self.cells_x}x{self.cells_y} grid")
+            raise InvalidGridError(
+                f"cell ({col}, {row}) outside {self.cells_x}x{self.cells_y} grid"
+            )
         return row * self.cells_x + col + 1
 
     def cell_position(self, cell_id: int) -> Tuple[int, int]:
@@ -70,11 +72,29 @@ class UniformGrid:
         return (index % self.cells_x, index // self.cells_x)
 
     def cell_box(self, cell_id: int) -> BoundingBox:
-        """Bounding box of the given cell."""
+        """Bounding box of the given cell.
+
+        The last column/row snaps to the extent boundary so the cells tile
+        the extent exactly: a point :meth:`locate` clamps into the last cell
+        (e.g. exactly on the maximum boundary) is always contained in that
+        cell's box, which ``min + width`` arithmetic cannot guarantee under
+        floating point.
+        """
         col, row = self.cell_position(cell_id)
-        min_x = self.extent.min_x + col * self.cell_width
-        min_y = self.extent.min_y + row * self.cell_height
-        return BoundingBox(min_x, min_y, min_x + self.cell_width, min_y + self.cell_height)
+        extent = self.extent
+        min_x = extent.min_x + col * self.cell_width
+        min_y = extent.min_y + row * self.cell_height
+        max_x = (
+            extent.max_x
+            if col == self.cells_x - 1
+            else extent.min_x + (col + 1) * self.cell_width
+        )
+        max_y = (
+            extent.max_y
+            if row == self.cells_y - 1
+            else extent.min_y + (row + 1) * self.cell_height
+        )
+        return BoundingBox(min_x, min_y, max_x, max_y)
 
     def cell(self, cell_id: int) -> GridCell:
         """Full :class:`GridCell` record for a cell id."""
@@ -107,17 +127,23 @@ class UniformGrid:
         """``MINDIST`` between a point and a cell (0 if the point is inside)."""
         return self.cell_box(cell_id).min_distance(x, y)
 
-    def neighbours_within(self, x: float, y: float, radius: float) -> List[int]:
+    def neighbours_within(
+        self, x: float, y: float, radius: float, home: int | None = None
+    ) -> List[int]:
         """Ids of cells other than the enclosing one with ``MINDIST <= radius``.
 
         This is the duplication rule of Lemma 1: a feature object at ``(x, y)``
         must additionally be assigned to every returned cell.  Only cells in a
         window of ``ceil(radius / cell_side)`` cells around the enclosing cell
         can qualify, so the search is restricted to that window.
+
+        Callers that already located the point may pass the enclosing cell id
+        as ``home`` to skip the redundant :meth:`locate`.
         """
         if radius < 0:
             raise InvalidGridError(f"radius must be >= 0, got {radius}")
-        home = self.locate(x, y)
+        if home is None:
+            home = self.locate(x, y)
         home_col, home_row = self.cell_position(home)
         reach_x = int(radius / self.cell_width) + 1
         reach_y = int(radius / self.cell_height) + 1

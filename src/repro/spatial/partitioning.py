@@ -87,7 +87,19 @@ class GridPartitioner:
     def assign_feature_object(self, obj: FeatureObject) -> List[int]:
         """All cell ids a feature object must be sent to (primary cell first)."""
         home = self.grid.locate(obj.x, obj.y)
-        return [home] + self.grid.neighbours_within(obj.x, obj.y, self.radius)
+        return [home] + self.grid.neighbours_within(obj.x, obj.y, self.radius, home=home)
+
+    # ------------------------------------------------------------------ #
+    # bulk assignment (used by the reusable dataset index)
+
+    def assign_data_objects(self, objects: Iterable[DataObject]) -> List[int]:
+        """Cell id of every data object, in input order.
+
+        Used by :class:`~repro.index.dataset_index.DatasetIndex` to compute
+        the whole dataset's (radius-independent) cell assignment once.
+        """
+        locate = self.grid.locate
+        return [locate(obj.x, obj.y) for obj in objects]
 
     # ------------------------------------------------------------------ #
     # whole-dataset partitioning (used by the centralized simulation path

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.spatial.geometry import BoundingBox
 

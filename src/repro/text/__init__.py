@@ -14,7 +14,7 @@ from repro.text.similarity import (
 )
 from repro.text.tokenizer import normalize_keyword, tokenize
 from repro.text.vocabulary import Vocabulary
-from repro.text.inverted_index import InvertedIndex
+from repro.text.inverted_index import InvertedIndex, PositionalInvertedIndex
 
 __all__ = [
     "jaccard",
@@ -25,4 +25,5 @@ __all__ = [
     "normalize_keyword",
     "Vocabulary",
     "InvertedIndex",
+    "PositionalInvertedIndex",
 ]

@@ -76,3 +76,40 @@ class InvertedIndex:
         ]
         scored.sort(key=lambda pair: (-pair[1], pair[0].oid))
         return scored
+
+
+class PositionalInvertedIndex(InvertedIndex):
+    """Inverted index that also records each feature's insertion position.
+
+    The distributed engine needs candidates *in storage order* (the order the
+    map phase would have streamed them) so that batch execution reproduces the
+    sequential shuffle ordering bit-for-bit.  A plain set of candidate
+    features cannot provide that -- and would silently deduplicate equal
+    feature objects -- so this subclass keeps, per keyword, the list of
+    0-based positions at which matching features were added.
+    """
+
+    def __init__(self, features: Iterable[FeatureObject] = ()) -> None:
+        self._keyword_positions: Dict[str, List[int]] = defaultdict(list)
+        super().__init__(features)
+
+    def add(self, feature: FeatureObject) -> None:
+        position = len(self)
+        super().add(feature)
+        for keyword in feature.keywords:
+            self._keyword_positions[keyword].append(position)
+
+    def positions(self, keyword: str) -> List[int]:
+        """Insertion positions of the features containing ``keyword``."""
+        return list(self._keyword_positions.get(keyword, ()))
+
+    def candidate_positions(self, keywords: Iterable[str]) -> List[int]:
+        """Positions of features sharing a keyword with the query, ascending.
+
+        Ascending position order *is* storage order, which makes the result
+        directly usable as a filtered map-phase input stream.
+        """
+        seen: Set[int] = set()
+        for keyword in keywords:
+            seen.update(self._keyword_positions.get(keyword, ()))
+        return sorted(seen)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.model.objects import FeatureObject
 

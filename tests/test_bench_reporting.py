@@ -6,7 +6,6 @@ import pytest
 
 from repro.bench.harness import SweepPoint, SweepResult
 from repro.bench.reporting import (
-    LoadBalanceStats,
     ascii_chart,
     compare_load_balance,
     load_balance,

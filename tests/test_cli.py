@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.engine import SPQEngine
 from repro.datagen.io import load_dataset
+from repro.model.query import SpatialPreferenceQuery
 
 
 class TestParser:
@@ -91,6 +95,100 @@ class TestQueryCommand:
         code = main(["query", "--input", str(path), "--keywords", "italian"])
         assert code == 2
         assert "no data objects" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "400",
+              "--output", str(output)])
+        return output
+
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        path.write_text(
+            '{"keywords": ["w0001", "w0002"], "k": 3, "radius": 5.0}\n'
+            "# a comment line\n"
+            "\n"
+            '{"keywords": "w0003,w0004", "radius": 5.0, "algorithm": "pspq"}\n'
+            '{"keywords": ["w0005"], "k": 2, "radius": 5.0, "grid_size": 4}\n'
+        )
+        return path
+
+    def test_batch_writes_jsonl_results(self, dataset_file, query_file, tmp_path, capsys):
+        output = tmp_path / "results.jsonl"
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--output", str(output),
+        ])
+        assert code == 0
+        lines = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        assert len(lines) == 3
+        assert lines[0]["keywords"] == ["w0001", "w0002"]
+        assert lines[0]["k"] == 3
+        assert lines[1]["algorithm"] == "pspq"
+        for record in lines:
+            for entry in record["results"]:
+                assert set(entry) == {"oid", "score", "x", "y"}
+
+    def test_batch_results_match_single_queries(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "q.jsonl"
+        query_file.write_text('{"keywords": ["w0001"], "k": 5, "radius": 6.0}\n')
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--output", "-",
+        ])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out.strip())
+
+        data, features = load_dataset(dataset_file)
+        engine = SPQEngine(data, features)
+        query = SpatialPreferenceQuery.create(k=5, radius=6.0, keywords={"w0001"})
+        expected = engine.execute(query, algorithm="espq-sco", grid_size=6)
+        assert [e["oid"] for e in record["results"]] == expected.object_ids()
+        assert [e["score"] for e in record["results"]] == expected.scores()
+
+    def test_batch_stats_flag(self, dataset_file, query_file, capsys):
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--output", "-", "--stats",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        first = json.loads(captured.out.splitlines()[0])
+        assert "stats" in first and "index" in first["stats"]
+        assert "index cache" in captured.err
+
+    def test_batch_rejects_bad_query_line(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "bad.jsonl"
+        query_file.write_text('{"k": 3}\n')
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+        ])
+        assert code == 2
+        assert "keywords" in capsys.readouterr().err
+
+    def test_batch_rejects_empty_query_file(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "empty.jsonl"
+        query_file.write_text("# nothing here\n")
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+        ])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_batch_rejects_unknown_algorithm_in_line(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "bad_algo.jsonl"
+        query_file.write_text('{"keywords": ["w0001"], "algorithm": "bogus"}\n')
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+        ])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
 
 
 class TestAnalyzeCommand:

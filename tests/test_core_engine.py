@@ -13,7 +13,9 @@ from repro.text.vocabulary import Vocabulary
 
 
 class TestEngineBasics:
-    def test_unknown_algorithm_rejected(self, paper_data_objects, paper_feature_objects, paper_query):
+    def test_unknown_algorithm_rejected(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
         engine = SPQEngine(paper_data_objects, paper_feature_objects)
         with pytest.raises(InvalidQueryError):
             engine.execute(paper_query, algorithm="does-not-exist")
@@ -57,7 +59,9 @@ class TestEngineResults:
         result = engine.execute(query, algorithm="pspq", grid_size=grid_size)
         assert result.scores() == pytest.approx(baseline.scores())
 
-    def test_centralized_algorithm_through_engine(self, paper_data_objects, paper_feature_objects, paper_query):
+    def test_centralized_algorithm_through_engine(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
         engine = SPQEngine(paper_data_objects, paper_feature_objects)
         result = engine.execute(paper_query, algorithm="centralized")
         assert result.object_ids() == ["p1"]

@@ -167,7 +167,9 @@ class TestReduceBehaviour:
         assert examined == 2
         assert result.counters.get("spq", "early_terminations") == 1
 
-    def test_pspq_reads_every_shuffled_feature(self, grid, paper_data_objects, paper_feature_objects):
+    def test_pspq_reads_every_shuffled_feature(
+        self, grid, paper_data_objects, paper_feature_objects
+    ):
         query = SpatialPreferenceQuery.create(k=1, radius=1.5, keywords={"italian"})
         result = _run(PSPQJob, query, grid, paper_data_objects, paper_feature_objects)
         # Features with the keyword: f1, f4, f7; f7 duplicated to 3 extra cells,

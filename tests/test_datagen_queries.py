@@ -9,7 +9,6 @@ import pytest
 from repro.datagen.queries import QueryWorkload, radius_from_cell_fraction
 from repro.model.objects import FeatureObject
 from repro.spatial.geometry import BoundingBox
-from repro.text.vocabulary import Vocabulary
 
 
 @pytest.fixture()
@@ -24,7 +23,8 @@ def workload():
 class TestRadiusFromCellFraction:
     def test_default_setup_of_table3(self):
         # extent side 100, grid 50 -> cell side 2; 10% of it -> 0.2
-        assert radius_from_cell_fraction(BoundingBox(0, 0, 100, 100), 50, 0.10) == pytest.approx(0.2)
+        radius = radius_from_cell_fraction(BoundingBox(0, 0, 100, 100), 50, 0.10)
+        assert radius == pytest.approx(0.2)
 
     def test_uses_longest_extent_side(self):
         assert radius_from_cell_fraction(BoundingBox(0, 0, 100, 10), 10, 0.5) == pytest.approx(5.0)

@@ -1,0 +1,242 @@
+"""Tests for ``SPQEngine.execute_many`` and the engine's index lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SPQEngine
+from repro.exceptions import InvalidQueryError, ResultIntegrityError
+from repro.index.planner import BatchQuery
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.runtime import JobResult
+from repro.model.query import SpatialPreferenceQuery
+
+DISTRIBUTED = ("pspq", "espq-len", "espq-sco")
+
+
+def _workload(keyword_sets, k=5, radius=4.0, repeats=3):
+    return [
+        SpatialPreferenceQuery.create(k=k, radius=radius, keywords=keywords)
+        for _ in range(repeats)
+        for keywords in keyword_sets
+    ]
+
+
+@pytest.fixture(scope="module")
+def uniform_engine_data(small_uniform_dataset_module):
+    return small_uniform_dataset_module
+
+
+@pytest.fixture(scope="module")
+def small_uniform_dataset_module():
+    from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+
+    return generate_uniform(SyntheticDatasetConfig(num_objects=1_000, seed=101))
+
+
+class TestBatchEqualsSequential:
+    @pytest.mark.parametrize("algorithm", DISTRIBUTED)
+    def test_identical_results_per_algorithm(self, uniform_engine_data, algorithm):
+        data, features = uniform_engine_data
+        queries = _workload([
+            {"w0001", "w0042"}, {"w0100"}, {"w0500", "w0501"},
+        ])
+        engine = SPQEngine(data, features)
+        sequential = [
+            engine.execute(query, algorithm=algorithm, grid_size=8)
+            for query in queries
+        ]
+        batch_engine = SPQEngine(data, features)
+        batch = batch_engine.execute_many(queries, algorithm=algorithm, grid_size=8)
+        assert len(batch) == len(sequential)
+        for seq, bat in zip(sequential, batch):
+            assert seq.object_ids() == bat.object_ids()
+            assert seq.scores() == bat.scores()
+
+    def test_paper_example_through_batch(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        sequential = engine.execute(paper_query, algorithm="espq-sco", grid_size=3)
+        [batch] = engine.execute_many([paper_query], algorithm="espq-sco", grid_size=3)
+        assert batch.object_ids() == sequential.object_ids()
+        assert batch.scores() == sequential.scores()
+
+    def test_influence_mode_via_pspq(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=3, radius=5.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        sequential = engine.execute(
+            query, algorithm="pspq", grid_size=6, score_mode="influence"
+        )
+        [batch] = engine.execute_many(
+            [query], algorithm="pspq", grid_size=6, score_mode="influence"
+        )
+        assert batch.object_ids() == sequential.object_ids()
+        assert batch.scores() == pytest.approx(sequential.scores())
+
+    def test_mixed_grid_sizes_and_algorithms_keep_input_order(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query_a = SpatialPreferenceQuery.create(k=2, radius=4.0, keywords={"w0001"})
+        query_b = SpatialPreferenceQuery.create(k=2, radius=4.0, keywords={"w0100"})
+        items = [
+            BatchQuery(query_a, grid_size=10),
+            BatchQuery(query_b, algorithm="pspq"),
+            query_a,
+            BatchQuery(query_b, grid_size=10, algorithm="espq-len"),
+        ]
+        engine = SPQEngine(data, features)
+        results = engine.execute_many(items, algorithm="espq-sco", grid_size=6)
+        assert len(results) == 4
+        expected = [
+            engine.execute(query_a, algorithm="espq-sco", grid_size=10),
+            engine.execute(query_b, algorithm="pspq", grid_size=6),
+            engine.execute(query_a, algorithm="espq-sco", grid_size=6),
+            engine.execute(query_b, algorithm="espq-len", grid_size=10),
+        ]
+        for got, want in zip(results, expected):
+            assert got.object_ids() == want.object_ids()
+            assert got.scores() == want.scores()
+        assert results[0].stats["grid_size"] == 10
+        assert results[1].stats["algorithm"] == "pSPQ"
+
+    def test_centralized_passthrough(self, paper_data_objects, paper_feature_objects, paper_query):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        sequential = engine.execute(paper_query, algorithm="centralized")
+        [batch] = engine.execute_many([paper_query], algorithm="centralized")
+        assert batch.object_ids() == sequential.object_ids()
+
+    def test_empty_batch(self, paper_data_objects, paper_feature_objects):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        assert engine.execute_many([]) == []
+
+    def test_validation_happens_before_execution(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        items = [paper_query, BatchQuery(paper_query, algorithm="bogus")]
+        with pytest.raises(InvalidQueryError):
+            engine.execute_many(items)
+        # Nothing ran: the index cache was never populated.
+        assert engine.index_cache_stats["misses"] == 0
+
+    def test_pspq_bad_score_mode_rejected_up_front(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        items = [paper_query, BatchQuery(paper_query, algorithm="pspq", score_mode="bogus")]
+        with pytest.raises(InvalidQueryError, match="pspq"):
+            engine.execute_many(items)
+        assert engine.index_cache_stats["misses"] == 0
+
+
+class TestStaleDatasetGuards:
+    def test_reassigning_data_objects_refreshes_merge_lookup(self, uniform_engine_data):
+        from repro.model.objects import DataObject
+
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=3, radius=4.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        before = engine.execute(query, grid_size=8)
+        # Same oids, moved coordinates: the merge lookup must not serve the
+        # old instances after the attribute is reassigned.
+        moved = [DataObject(obj.oid, obj.x + 1.0, obj.y) for obj in data]
+        engine.data_objects = moved
+        after = engine.execute(query, grid_size=8)
+        lookup = {obj.oid: obj for obj in moved}
+        for entry in after:
+            assert entry.obj is lookup[entry.obj.oid]
+        del before
+
+
+class TestIndexLifecycle:
+    def test_cache_hits_across_batch(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        queries = _workload([{"w0001"}, {"w0100"}], repeats=2)
+        engine = SPQEngine(data, features)
+        engine.execute_many(queries, grid_size=8)
+        stats = engine.index_cache_stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(queries) - 1
+
+    def test_index_reused_across_calls(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=2, radius=4.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        engine.execute_many([query], grid_size=8)
+        engine.execute_many([query], grid_size=8)
+        assert engine.index_cache_stats["misses"] == 1
+        assert engine.index_cache_stats["hits"] == 1
+
+    def test_invalidate_indexes_bumps_version_and_clears(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=2, radius=4.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        engine.execute_many([query], grid_size=8)
+        version = engine.dataset_version
+        engine.invalidate_indexes()
+        assert engine.dataset_version == version + 1
+        engine.execute_many([query], grid_size=8)
+        assert engine.index_cache_stats["misses"] == 2
+
+    def test_set_datasets_invalidates_and_changes_results(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=3, radius=4.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        [before] = engine.execute_many([query], grid_size=8)
+
+        half = len(data) // 2
+        engine.set_datasets(data[:half], features[:half])
+        [after] = engine.execute_many([query], grid_size=8)
+        fresh = SPQEngine(data[:half], features[:half])
+        [expected] = fresh.execute_many([query], grid_size=8)
+        assert after.object_ids() == expected.object_ids()
+        assert after.scores() == expected.scores()
+        # The stale index must not have served the shrunk dataset.
+        assert engine.index_cache_stats["misses"] == 2
+        del before
+
+    def test_stats_carry_index_info(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        queries = _workload([{"w0001"}], repeats=2)
+        engine = SPQEngine(data, features)
+        results = engine.execute_many(queries, grid_size=8)
+        assert results[0].stats["index"]["index_cache_hit"] is False
+        assert results[1].stats["index"]["index_cache_hit"] is True
+        assert results[1].stats["index"]["radius_cache_hit"] is True
+        assert results[0].stats["features_pruned"] > 0
+
+    def test_pruned_counter_matches_sequential(self, uniform_engine_data):
+        data, features = uniform_engine_data
+        query = SpatialPreferenceQuery.create(k=2, radius=4.0, keywords={"w0001"})
+        engine = SPQEngine(data, features)
+        sequential = engine.execute(query, algorithm="espq-sco", grid_size=8)
+        [batch] = engine.execute_many([query], algorithm="espq-sco", grid_size=8)
+        assert batch.stats["features_pruned"] == sequential.stats["features_pruned"]
+        assert batch.stats["feature_duplicates"] == sequential.stats["feature_duplicates"]
+
+
+class TestMergeIntegrity:
+    def _fake_result(self, outputs):
+        return JobResult(
+            job_name="fake",
+            outputs=outputs,
+            counters=Counters(),
+            reduce_reports=[],
+            num_map_tasks=1,
+            num_reduce_tasks=1,
+        )
+
+    def test_unknown_oid_raises(self, paper_data_objects, paper_feature_objects, paper_query):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        fake = self._fake_result([(1, "no-such-object", 0.5)])
+        with pytest.raises(ResultIntegrityError, match="no-such-object"):
+            engine._merge(fake, paper_query)
+
+    def test_known_oids_merge_normally(
+        self, paper_data_objects, paper_feature_objects, paper_query
+    ):
+        engine = SPQEngine(paper_data_objects, paper_feature_objects)
+        fake = self._fake_result([(1, "p1", 0.5), (2, "p2", 0.7)])
+        entries = engine._merge(fake, paper_query)
+        assert [entry.obj.oid for entry in entries] == ["p2"]  # k == 1

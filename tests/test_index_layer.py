@@ -1,0 +1,235 @@
+"""Tests for the reusable index layer (``repro.index``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.centralized import dataset_extent
+from repro.core.jobs import ESPQScoJob, PSPQJob
+from repro.index.cache import IndexCache
+from repro.index.dataset_index import DatasetIndex
+from repro.index.planner import BatchQuery, plan_batch
+from repro.index.records import PreAssignedData, PreAssignedFeature
+from repro.exceptions import InvalidQueryError
+from repro.mapreduce.runtime import LocalJobRunner
+from repro.model.objects import FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.spatial.grid import UniformGrid
+from repro.spatial.partitioning import GridPartitioner
+from repro.text.inverted_index import PositionalInvertedIndex
+
+
+@pytest.fixture()
+def grid():
+    return UniformGrid.unit(4)
+
+
+@pytest.fixture()
+def index(small_uniform_dataset):
+    data, features = small_uniform_dataset
+    grid = UniformGrid.square(dataset_extent(data, features), 8)
+    return DatasetIndex(data, features, grid)
+
+
+class TestPositionalInvertedIndex:
+    def test_positions_follow_insertion_order(self):
+        features = [
+            FeatureObject("f1", 0.1, 0.1, frozenset({"a", "b"})),
+            FeatureObject("f2", 0.2, 0.2, frozenset({"b"})),
+            FeatureObject("f3", 0.3, 0.3, frozenset({"a"})),
+        ]
+        index = PositionalInvertedIndex(features)
+        assert index.positions("a") == [0, 2]
+        assert index.positions("b") == [0, 1]
+        assert index.positions("zzz") == []
+
+    def test_candidate_positions_are_sorted_and_deduplicated(self):
+        features = [
+            FeatureObject("f1", 0.1, 0.1, frozenset({"a", "b"})),
+            FeatureObject("f2", 0.2, 0.2, frozenset({"b"})),
+            FeatureObject("f3", 0.3, 0.3, frozenset({"c"})),
+        ]
+        index = PositionalInvertedIndex(features)
+        assert index.candidate_positions({"a", "b"}) == [0, 1]
+        assert index.candidate_positions({"c", "zzz"}) == [2]
+
+    def test_equal_duplicate_features_keep_distinct_positions(self):
+        # A set-based candidate lookup would silently collapse these.
+        feature = FeatureObject("f1", 0.1, 0.1, frozenset({"a"}))
+        index = PositionalInvertedIndex([feature, feature])
+        assert index.candidate_positions({"a"}) == [0, 1]
+
+
+class TestDatasetIndex:
+    def test_candidates_match_pruning_rule(self, index, small_uniform_dataset):
+        _, features = small_uniform_dataset
+        keywords = frozenset({"w0001", "w0042"})
+        expected = [
+            position
+            for position, feature in enumerate(features)
+            if feature.has_common_keyword(keywords)
+        ]
+        assert index.candidate_positions(keywords) == expected
+
+    def test_data_cells_match_partitioner(self, index, small_uniform_dataset):
+        data, _ = small_uniform_dataset
+        partitioner = GridPartitioner(index.grid, radius=0.0)
+        for position in (0, 17, len(data) - 1):
+            assert index.data_cell_of(position) == partitioner.assign_data_object(
+                data[position]
+            )
+
+    def test_feature_cells_cached_per_radius(self, index, small_uniform_dataset):
+        _, features = small_uniform_dataset
+        assert index.cached_radii == []
+        first = index.feature_cells(2.0)
+        assert index.cached_radii == [2.0]
+        assert index.feature_cells(2.0) is first  # cache hit returns same object
+        index.feature_cells(5.0)
+        assert index.cached_radii == [2.0, 5.0]
+        partitioner = GridPartitioner(index.grid, radius=2.0)
+        assert list(first[3]) == partitioner.assign_feature_object(features[3])
+
+    def test_feature_cells_lazy_for_requested_positions(self, index):
+        cache = index.feature_cells(1.5, positions=[4, 9])
+        assert set(cache) == {4, 9}  # only the touched features were assigned
+        again = index.feature_cells(1.5, positions=[9, 11])
+        assert again is cache
+        assert set(cache) == {4, 9, 11}
+
+    def test_prepare_reports_pruning_and_order(self, index):
+        query = SpatialPreferenceQuery.create(
+            k=5, radius=2.0, keywords={"w0001", "w0042"}
+        )
+        prepared = index.prepare(query)
+        records = list(prepared.records)
+        assert prepared.num_candidates == len(records)
+        assert prepared.num_pruned == index.num_features - prepared.num_candidates
+        positions = index.candidate_positions(query.keywords)
+        assert [r.obj for r in records] == [
+            index._feature_objects[p] for p in positions
+        ]
+        assert all(isinstance(r, PreAssignedFeature) for r in records)
+
+    def test_radius_cache_hit_flag(self, index):
+        query = SpatialPreferenceQuery.create(k=5, radius=3.0, keywords={"w0001"})
+        assert index.prepare(query).radius_cache_hit is False
+        assert index.prepare(query).radius_cache_hit is True
+
+
+class TestPreloadedShuffle:
+    def test_preloaded_run_equals_plain_run(self, paper_data_objects, paper_feature_objects):
+        from repro.spatial.geometry import BoundingBox
+
+        grid = UniformGrid.square(BoundingBox(0.0, 0.0, 10.0, 10.0), 3)
+        query = SpatialPreferenceQuery.create(k=2, radius=1.5, keywords={"italian"})
+        index = DatasetIndex(paper_data_objects, paper_feature_objects, grid)
+
+        plain_job = ESPQScoJob(query, grid)
+        runner = LocalJobRunner(num_reducers=grid.num_cells)
+        plain = runner.run(
+            plain_job, list(paper_data_objects) + list(paper_feature_objects)
+        )
+
+        batch_job = ESPQScoJob(query, grid)
+        prepared = index.prepare(query)
+        batch = runner.run(
+            batch_job, prepared.records, preloaded=index.data_shuffle(batch_job)
+        )
+        assert sorted(batch.outputs) == sorted(plain.outputs)
+
+    def test_data_shuffle_cached_per_job_class(self, paper_data_objects, paper_feature_objects):
+        from repro.spatial.geometry import BoundingBox
+
+        grid = UniformGrid.square(BoundingBox(0.0, 0.0, 10.0, 10.0), 3)
+        query = SpatialPreferenceQuery.create(k=1, radius=1.5, keywords={"italian"})
+        index = DatasetIndex(paper_data_objects, paper_feature_objects, grid)
+        sco = index.data_shuffle(ESPQScoJob(query, grid))
+        assert index.data_shuffle(ESPQScoJob(query, grid)) is sco
+        assert index.data_shuffle(PSPQJob(query, grid)) is not sco
+
+    def test_preloaded_partition_count_validated(self, paper_data_objects, paper_feature_objects):
+        from repro.exceptions import JobConfigurationError
+        from repro.spatial.geometry import BoundingBox
+
+        grid = UniformGrid.square(BoundingBox(0.0, 0.0, 10.0, 10.0), 3)
+        query = SpatialPreferenceQuery.create(k=1, radius=1.5, keywords={"italian"})
+        index = DatasetIndex(paper_data_objects, paper_feature_objects, grid)
+        job = ESPQScoJob(query, grid)
+        shuffle = index.data_shuffle(job)
+        wrong_runner = LocalJobRunner(num_reducers=grid.num_cells + 1)
+        with pytest.raises(JobConfigurationError):
+            wrong_runner.run(job, [], preloaded=shuffle)
+
+
+class TestIndexCache:
+    def _entry(self):
+        # The cache never inspects its values, so a sentinel object suffices.
+        return object()
+
+    def test_hit_miss_accounting(self):
+        cache = IndexCache(capacity=2)
+        value, hit = cache.get_or_build("a", self._entry)
+        assert hit is False
+        again, hit = cache.get_or_build("a", self._entry)
+        assert hit is True and again is value
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = IndexCache(capacity=2)
+        cache.get_or_build("a", self._entry)
+        cache.get_or_build("b", self._entry)
+        cache.get_or_build("a", self._entry)  # refresh "a"
+        cache.get_or_build("c", self._entry)  # evicts "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_single_and_all(self):
+        cache = IndexCache(capacity=4)
+        cache.get_or_build("a", self._entry)
+        cache.get_or_build("b", self._entry)
+        assert cache.invalidate("a") == 1
+        assert cache.invalidate("a") == 0
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            IndexCache(capacity=0)
+
+
+class TestPlanner:
+    def test_groups_by_grid_and_mode_preserving_positions(self):
+        q = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        items = [
+            BatchQuery(q, grid_size=20),
+            q,
+            BatchQuery(q, grid_size=20, algorithm="pspq"),
+            BatchQuery(q, score_mode="influence", algorithm="pspq"),
+        ]
+        plan = plan_batch(items, "espq-sco", 10, "range")
+        assert [p.position for p in plan] == [3, 1, 0, 2]
+        assert plan[0].score_mode == "influence"
+        assert plan[1].grid_size == 10
+        assert plan[2].grid_size == 20 and plan[2].algorithm == "espq-sco"
+
+    def test_rejects_foreign_items(self):
+        with pytest.raises(InvalidQueryError):
+            plan_batch(["not a query"], "espq-sco", 10, "range")
+
+    def test_rejects_invalid_grid_size_override(self):
+        q = SpatialPreferenceQuery.create(k=1, radius=1.0, keywords={"a"})
+        with pytest.raises(InvalidQueryError, match="grid_size"):
+            plan_batch([BatchQuery(q, grid_size=0)], "espq-sco", 10, "range")
+        with pytest.raises(InvalidQueryError, match="grid_size"):
+            plan_batch([q], "espq-sco", "20", "range")
+
+
+class TestPreAssignedRecords:
+    def test_records_are_frozen(self, paper_data_objects):
+        record = PreAssignedData(paper_data_objects[0], 3)
+        with pytest.raises(AttributeError):
+            record.cell_id = 4

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.centralized import CentralizedSPQ, dataset_extent
-from repro.core.engine import EngineConfig, SPQEngine
+from repro.core.engine import SPQEngine
 from repro.datagen.io import load_dataset, save_dataset
 from repro.datagen.queries import QueryWorkload
 from repro.datagen.realistic import RealisticDatasetConfig, generate_twitter_like
@@ -72,8 +72,10 @@ class TestFullPipelineUniform:
         radius = max(extent.width, extent.height) / 15 * 0.25
         query = SpatialPreferenceQuery.create(k=10, radius=radius, keywords=keywords)
         engine = SPQEngine(data, features)
-        pspq_time = engine.execute(query, algorithm="pspq", grid_size=15).stats["simulated_seconds"]
-        sco_time = engine.execute(query, algorithm="espq-sco", grid_size=15).stats["simulated_seconds"]
+        pspq = engine.execute(query, algorithm="pspq", grid_size=15)
+        sco = engine.execute(query, algorithm="espq-sco", grid_size=15)
+        pspq_time = pspq.stats["simulated_seconds"]
+        sco_time = sco.stats["simulated_seconds"]
         assert sco_time <= pspq_time
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import JobConfigurationError, JobExecutionError
-from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalJobRunner
 
@@ -110,7 +109,8 @@ class TestWordCount:
         records = ["x y z", "x x", "z y x"]
         baseline = dict(LocalJobRunner(num_reducers=1).run(WordCountJob(), records).outputs)
         for reducers in (2, 4, 7):
-            outputs = dict(LocalJobRunner(num_reducers=reducers).run(WordCountJob(), records).outputs)
+            runner = LocalJobRunner(num_reducers=reducers)
+            outputs = dict(runner.run(WordCountJob(), records).outputs)
             assert outputs == baseline
 
     def test_map_counters(self):

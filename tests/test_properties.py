@@ -9,7 +9,6 @@ grid geometry, Lemma 1 duplication, and the top-k list.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
