@@ -31,6 +31,7 @@ from typing import Dict, List
 
 from repro.core.engine import SPQEngine
 from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+from repro.execution import execution_info
 from repro.model.query import SpatialPreferenceQuery
 
 DEFAULT_ALGORITHMS = ("espq-sco", "espq-len", "pspq")
@@ -124,6 +125,7 @@ def main(argv=None) -> int:
               f"{run['identical_results']}")
 
     summary = {
+        "execution": execution_info(),
         "workload": {
             "objects": args.objects,
             "queries": args.queries,

@@ -17,6 +17,7 @@ paper-versus-measured record of every figure.
 """
 
 from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.execution import BACKEND_NAMES, ExecutionBackend, create_backend
 from repro.index import BatchQuery, DatasetIndex, IndexCache
 from repro.model import (
     DataObject,
@@ -27,12 +28,15 @@ from repro.model import (
     TopKList,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SPQEngine",
     "EngineConfig",
     "ALGORITHMS",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "create_backend",
     "BatchQuery",
     "DatasetIndex",
     "IndexCache",

@@ -32,8 +32,10 @@ from typing import List, Optional, Sequence
 from repro import __version__
 from repro.core.analysis import duplication_factor, reducer_cost_model
 from repro.core.centralized import dataset_extent
-from repro.core.engine import ALGORITHMS, SPQEngine
+from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
 from repro.core.scoring import SCORE_MODES
+from repro.exceptions import JobConfigurationError
+from repro.execution import BACKEND_NAMES, resolve_backend_spec
 from repro.datagen.io import load_dataset, save_dataset
 from repro.datagen.queries import radius_from_cell_fraction
 from repro.datagen.realistic import (
@@ -51,6 +53,36 @@ from repro.index.planner import BatchQuery
 from repro.model.query import SpatialPreferenceQuery
 
 DATASET_CHOICES = ("uniform", "clustered", "flickr", "twitter")
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend flags shared by ``query`` and ``batch``."""
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend: 'serial' (deterministic default), 'thread' "
+        "(thread pool), or 'process' (true multi-core multiprocessing pool); "
+        "all three return identical results (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends "
+        "(default: $REPRO_WORKERS or the CPU count, capped at 8)",
+    )
+
+
+def _engine_config(args: argparse.Namespace, **extra) -> EngineConfig:
+    """Engine configuration from CLI flags, validating the backend combo.
+
+    Raises:
+        JobConfigurationError: for bad combinations such as
+            ``--backend serial --workers 4`` or ``--workers 0``.
+    """
+    backend, workers = resolve_backend_spec(args.backend, args.workers)
+    return EngineConfig(backend=backend, workers=workers, **extra)
 
 
 # --------------------------------------------------------------------- #
@@ -93,7 +125,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("error: --keywords must contain at least one keyword", file=sys.stderr)
         return 2
 
-    engine = SPQEngine(data, features)
+    try:
+        config = _engine_config(args)
+    except JobConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = SPQEngine(data, features, config=config)
     if args.radius is not None:
         radius = args.radius
     else:
@@ -101,8 +138,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         radius = radius_from_cell_fraction(extent, args.grid_size, args.radius_fraction)
     query = SpatialPreferenceQuery.create(k=args.k, radius=radius, keywords=keywords)
 
-    result = engine.execute(query, algorithm=args.algorithm, grid_size=args.grid_size)
-    print(f"Query: {query.describe()}  [algorithm={args.algorithm}, grid={args.grid_size}]")
+    try:
+        result = engine.execute(query, algorithm=args.algorithm, grid_size=args.grid_size)
+    finally:
+        engine.close()
+    backend_name = result.stats.get("backend", config.backend)
+    print(f"Query: {query.describe()}  [algorithm={args.algorithm}, grid={args.grid_size}, "
+          f"backend={backend_name}]")
     if not result.entries:
         print("No data object has a positive score for this query.")
     for rank, entry in enumerate(result, start=1):
@@ -214,7 +256,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("error: query file contains no queries", file=sys.stderr)
         return 2
 
-    engine = SPQEngine(data, features)
+    try:
+        config = _engine_config(args)
+    except JobConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = SPQEngine(data, features, config=config)
     try:
         results = engine.execute_many(
             items, algorithm=args.algorithm, grid_size=args.grid_size
@@ -222,6 +269,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except InvalidQueryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        engine.close()
 
     try:
         out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
@@ -245,6 +294,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     key: result.stats.get(key)
                     for key in (
                         "grid_size",
+                        "backend",
+                        "workers",
                         "shuffled_records",
                         "features_pruned",
                         "features_examined",
@@ -346,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--grid-size", type=int, default=50)
     query.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco")
     query.add_argument("--stats", action="store_true", help="print execution statistics")
+    _add_backend_arguments(query)
     query.set_defaults(func=_cmd_query)
 
     batch = subparsers.add_parser(
@@ -371,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default algorithm for query lines")
     batch.add_argument("--stats", action="store_true",
                        help="attach per-query stats and print cache summary")
+    _add_backend_arguments(batch)
     batch.set_defaults(func=_cmd_batch)
 
     analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")

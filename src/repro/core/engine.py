@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.core.centralized import CentralizedSPQ, dataset_extent
 from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob, _SPQJobBase
 from repro.exceptions import InvalidQueryError, ResultIntegrityError
+from repro.execution import ExecutionBackend, create_backend
 from repro.index.cache import IndexCache
 from repro.index.dataset_index import DatasetIndex
 from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
@@ -72,7 +73,16 @@ class EngineConfig:
         cluster: Simulated cluster used by the cost model; defaults to the
             paper's 16-node cluster.
         cost_parameters: Per-unit costs of the cost model.
-        max_workers: Thread parallelism of the local job runner.
+        backend: Execution backend name (``"serial"``, ``"thread"`` or
+            ``"process"``).  ``None`` (the default) defers to the legacy
+            ``max_workers`` knob, then the ``REPRO_BACKEND`` environment
+            variable, then ``"serial"``.  All backends return bit-for-bit
+            identical results; they differ only in wall-clock time.
+        workers: Worker count of the parallel backends.  ``None`` picks the
+            backend default (``REPRO_WORKERS`` or a capped CPU count).
+        max_workers: Legacy thread-parallelism knob, kept for backwards
+            compatibility: a value > 1 (with ``backend`` unset) selects the
+            thread backend with that many workers.
         pad_with_zero_scores: When True, the merged result is padded with
             arbitrary unreported data objects at score 0.0 so that exactly
             ``k`` entries are returned even when fewer than ``k`` data objects
@@ -86,6 +96,8 @@ class EngineConfig:
     grid_size: int = 50
     cluster: SimulatedCluster = field(default_factory=paper_cluster)
     cost_parameters: CostParameters = field(default_factory=CostParameters)
+    backend: Optional[str] = None
+    workers: Optional[int] = None
     max_workers: int = 1
     pad_with_zero_scores: bool = False
     index_cache_capacity: int = 4
@@ -110,6 +122,46 @@ class SPQEngine:
         self._index_cache = IndexCache(capacity=self.config.index_cache_capacity)
         self._oid_index: Optional[Dict[str, DataObject]] = None
         self._oid_index_source: Optional[List[DataObject]] = None
+        self._backend: Optional[ExecutionBackend] = None
+
+    # ------------------------------------------------------------------ #
+    # execution backend lifecycle
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend (created lazily, reused across queries).
+
+        Reuse matters: the pooled backends amortise their worker start-up
+        over every query the engine runs.
+
+        Raises:
+            JobConfigurationError: if the configured backend/worker
+                combination is invalid.
+        """
+        if self._backend is None:
+            self._backend = create_backend(
+                self.config.backend,
+                self.config.workers,
+                fallback_thread_workers=self.config.max_workers,
+            )
+        return self._backend
+
+    def close(self) -> None:
+        """Release the backend's worker pool (safe to call repeatedly).
+
+        The engine remains usable; the next query lazily recreates the
+        backend.  Unclosed process pools are reclaimed at garbage
+        collection, but long-lived services should close explicitly.
+        """
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "SPQEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
 
@@ -325,9 +377,8 @@ class SPQEngine:
         pruned_by_index: int = 0,
         index_stats: Optional[Dict[str, object]] = None,
     ) -> QueryResult:
-        runner = LocalJobRunner(
-            num_reducers=grid.num_cells, max_workers=self.config.max_workers
-        )
+        backend = self.backend
+        runner = LocalJobRunner(num_reducers=grid.num_cells, backend=backend)
         started = time.perf_counter()
         job_result = runner.run(job, records, preloaded=preloaded)
         elapsed = time.perf_counter() - started
@@ -348,6 +399,8 @@ class SPQEngine:
             "algorithm": job.name,
             "grid_size": grid.cells_x,
             "num_cells": grid.num_cells,
+            "backend": backend.name,
+            "workers": backend.workers,
             "wall_seconds": elapsed,
             "simulated_seconds": breakdown.total,
             "simulated_breakdown": breakdown.as_dict(),

@@ -95,6 +95,27 @@ class _SPQJobBase(MapReduceJob):
         self._feature_sizes = cache
 
     # -------------------------------------------------------------- #
+    # process-boundary support: the job is a picklable spec
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The size memo may be shared with a DatasetIndex (and can be large);
+        # it is an optimization only, so a worker-process copy of the job
+        # starts with an empty per-task cache and hands what it learned back
+        # through task_state() instead of dragging shared mutable state
+        # across the process boundary.
+        state = dict(self.__dict__)
+        state["_feature_sizes"] = {}
+        return state
+
+    def task_state(self) -> Any:
+        """The sizes this task memoized, handed back to the orchestrator."""
+        return self._feature_sizes or None
+
+    def merge_task_state(self, state: Any) -> None:
+        if state and state is not self._feature_sizes:
+            self._feature_sizes.update(state)
+
+    # -------------------------------------------------------------- #
     # map side
 
     def map(self, record: Any, counters: Counters) -> Iterable[Tuple[Any, Any]]:

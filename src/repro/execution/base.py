@@ -1,0 +1,101 @@
+"""The execution-backend protocol.
+
+A backend executes the tasks of one job phase and returns their results **in
+task-index order** -- that ordering contract is what makes counter and report
+aggregation deterministic across serial, threaded and multiprocess execution.
+Backends never aggregate anything themselves; the orchestrator
+(:class:`~repro.mapreduce.runtime.LocalJobRunner`) owns the merge.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.execution.tasks import MapTaskResult, ReduceTaskReport, ShuffleEntry
+
+
+@dataclass
+class ReduceTask:
+    """One reduce partition, ready to be sorted, grouped and reduced.
+
+    Attributes:
+        task_index: The reduce partition index.
+        entries: Live shuffle entries produced by this run's map phase
+            (already globally sequenced by the orchestrator).
+        preloaded_entries: Shuffle entries injected from a
+            :class:`~repro.mapreduce.runtime.PreloadedShuffle`, if any.
+            Shared across runs -- never mutated, always copied.
+        preloaded_blob: Zero-argument callable returning the compact pickled
+            form of ``preloaded_entries`` (cached at the shuffle snapshot, so
+            repeated queries do not re-pickle the index).  Process backends
+            ship the blob instead of re-pickling the entry list per query;
+            in-process backends ignore it.
+    """
+
+    task_index: int
+    entries: List[ShuffleEntry]
+    preloaded_entries: Optional[Sequence[ShuffleEntry]] = None
+    preloaded_blob: Optional[Callable[[], bytes]] = None
+
+    def materialize(self) -> List[ShuffleEntry]:
+        """The full bucket: preloaded entries (if any) plus live entries.
+
+        Returns a fresh list when preloaded entries are present (they are
+        shared across runs); otherwise the live list itself, which is owned
+        by the current run and safe to sort in place.
+        """
+        if self.preloaded_entries:
+            bucket = list(self.preloaded_entries)
+            bucket.extend(self.entries)
+            return bucket
+        return self.entries
+
+
+class ExecutionBackend(ABC):
+    """Executes the map/reduce tasks of a job phase.
+
+    Contract:
+
+    * ``run_map_tasks`` / ``run_reduce_tasks`` return one result per task,
+      **in task-index order**, regardless of scheduling.
+    * Task execution must go through :func:`~repro.execution.tasks.run_map_task`
+      / :func:`~repro.execution.tasks.run_reduce_task` so every backend runs
+      identical task code.
+    * Backends hold no per-job state; one backend instance serves many runs
+      (and, for pooled backends, amortises pool start-up across them).
+    """
+
+    #: Backend name as used in configuration and reports.
+    name: str = "backend"
+
+    #: Degree of parallelism (1 for serial).
+    workers: int = 1
+
+    @abstractmethod
+    def run_map_tasks(
+        self,
+        job: Any,
+        splits: Sequence[Sequence[Any]],
+        num_reducers: int,
+    ) -> List[MapTaskResult]:
+        """Run one map task per input split."""
+
+    @abstractmethod
+    def run_reduce_tasks(
+        self, job: Any, tasks: Sequence[ReduceTask]
+    ) -> List[Tuple[List[Any], ReduceTaskReport]]:
+        """Run every reduce task and return ``(outputs, report)`` pairs."""
+
+    def close(self) -> None:
+        """Release pooled resources; the backend must not be used afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(workers={self.workers})"

@@ -1,0 +1,180 @@
+"""True multiprocess task execution.
+
+Tasks run in a lazily created, reusable ``multiprocessing`` pool.  Everything
+crossing the process boundary is an explicit, picklable payload:
+
+* the **job spec** is pickled once per job and cached in each worker under a
+  token, so the (tiny) spec rides along with task payloads but is unpickled
+  at most once per worker per job;
+* **map payloads** carry one input split of records;
+* **reduce payloads** carry the partition's live shuffle entries plus -- for
+  pre-partitioned batch runs -- the partition's *compact serialized form*
+  (a pickle blob cached at the :class:`~repro.mapreduce.runtime.PreloadedShuffle`),
+  so repeated queries never re-pickle the index's data-object entries;
+* task payloads are submitted through ``Pool.map`` with a computed
+  ``chunksize``, so the many small per-cell reduce tasks of an SPQ job are
+  serialized in chunks instead of one IPC round-trip each.
+
+Workers hand mutable state back explicitly: learned per-task caches travel
+in :class:`~repro.execution.tasks.MapTaskResult.task_state` and per-task
+counters in the reports; the orchestrator merges both in task-index order,
+which keeps results bit-for-bit identical to serial execution.
+
+The pool prefers the ``fork`` start method (cheap, inherits loaded modules)
+and falls back to ``spawn`` where fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JobConfigurationError
+from repro.execution.base import ExecutionBackend, ReduceTask
+from repro.execution.tasks import (
+    MapTaskResult,
+    ReduceTaskReport,
+    ShuffleEntry,
+    run_map_task,
+    run_reduce_task,
+)
+
+#: Worker-side cache of the most recent job spec, keyed by token.  One entry
+#: only: a worker serves one job at a time, and evicting aggressively keeps
+#: long-lived pools from accumulating dead query state.
+_WORKER_JOBS: Dict[int, Any] = {}
+
+
+def _worker_job(token: int, job_blob: bytes) -> Any:
+    job = _WORKER_JOBS.get(token)
+    if job is None:
+        _WORKER_JOBS.clear()
+        job = pickle.loads(job_blob)
+        _WORKER_JOBS[token] = job
+    return job
+
+
+def _worker_run_map(
+    payload: Tuple[int, bytes, int, Sequence[Any], int],
+) -> MapTaskResult:
+    token, job_blob, task_index, records, num_reducers = payload
+    job = _worker_job(token, job_blob)
+    return run_map_task(job, task_index, records, num_reducers)
+
+
+def _worker_run_reduce(
+    payload: Tuple[int, bytes, int, Optional[bytes], List[ShuffleEntry]],
+) -> Tuple[List[Any], ReduceTaskReport]:
+    token, job_blob, task_index, preloaded_blob, entries = payload
+    job = _worker_job(token, job_blob)
+    if preloaded_blob is not None:
+        bucket: List[ShuffleEntry] = pickle.loads(preloaded_blob)
+        bucket.extend(entries)
+    else:
+        bucket = entries
+    return run_reduce_task(job, task_index, bucket)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Runs tasks in a lazily created, reusable ``multiprocessing.Pool``."""
+
+    name = "process"
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise JobConfigurationError(f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.workers = workers
+        self.start_method = start_method
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._tokens = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # pool and job-spec management
+
+    def _get_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def _job_payload(self, job: Any) -> Tuple[int, bytes]:
+        """A fresh token + pickled spec for ``job``, per phase call.
+
+        Re-pickling per phase (the spec is tiny) rather than caching across
+        phases guarantees workers never execute against a stale spec if a
+        caller mutates the job between phases; within one phase the token
+        lets each worker unpickle the spec at most once.
+        """
+        return next(self._tokens), pickle.dumps(job, pickle.HIGHEST_PROTOCOL)
+
+    # ------------------------------------------------------------------ #
+    # phase execution
+
+    def run_map_tasks(
+        self,
+        job: Any,
+        splits: Sequence[Sequence[Any]],
+        num_reducers: int,
+    ) -> List[MapTaskResult]:
+        if len(splits) <= 1 or self.workers == 1:
+            # A single split (or a single worker) gains nothing from IPC.
+            return [
+                run_map_task(job, index, split, num_reducers)
+                for index, split in enumerate(splits)
+            ]
+        token, job_blob = self._job_payload(job)
+        payloads = [
+            (token, job_blob, index, split, num_reducers)
+            for index, split in enumerate(splits)
+        ]
+        return self._get_pool().map(_worker_run_map, payloads, chunksize=1)
+
+    def run_reduce_tasks(
+        self, job: Any, tasks: Sequence[ReduceTask]
+    ) -> List[Tuple[List[Any], ReduceTaskReport]]:
+        if not tasks:
+            return []
+        if self.workers == 1:
+            # A one-process pool buys no parallelism; skip the IPC entirely.
+            return [
+                run_reduce_task(job, task.task_index, task.materialize())
+                for task in tasks
+            ]
+        token, job_blob = self._job_payload(job)
+        payloads = []
+        for task in tasks:
+            if task.preloaded_blob is not None:
+                blob: Optional[bytes] = task.preloaded_blob()
+                entries = task.entries
+            elif task.preloaded_entries:
+                # No compact form available: fall back to shipping the
+                # combined bucket (still correct, just re-pickled per run).
+                blob = None
+                entries = task.materialize()
+            else:
+                blob = None
+                entries = task.entries
+            payloads.append((token, job_blob, task.task_index, blob, entries))
+        # Chunked shuffle serialization: batch the many small per-partition
+        # payloads so each worker round-trip carries a meaningful amount of
+        # work instead of one tiny task.
+        chunksize = max(1, len(payloads) // (self.workers * 4))
+        return self._get_pool().map(_worker_run_reduce, payloads, chunksize=chunksize)
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.terminate()

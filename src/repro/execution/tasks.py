@@ -1,0 +1,187 @@
+"""Task-level execution primitives shared by every backend.
+
+A MapReduce job run decomposes into *map tasks* (one per input split) and
+*reduce tasks* (one per reduce partition).  Both are expressed here as plain
+functions over picklable arguments so that any backend -- inline, thread
+pool or process pool -- executes the exact same code path:
+
+* :func:`run_map_task` applies ``job.map`` to one split and buckets the
+  emitted key-value pairs by reduce partition, numbering emissions with a
+  *task-local* sequence.  The orchestrator rebases local sequences onto a
+  global counter in task order, which reproduces the emission order of a
+  fully serial run bit for bit.
+* :func:`run_reduce_task` sorts one partition's bucket by ``(sort_key,
+  sequence)``, groups it by ``group_key`` and feeds each group to
+  ``job.reduce`` through a consumption-tracking iterator (early
+  termination accounting).
+
+Each task gets its own :class:`~repro.mapreduce.counters.Counters`; the
+orchestrator merges them in task-index order, so the aggregate is
+deterministic regardless of how tasks were scheduled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JobExecutionError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+
+#: One bucketed shuffle entry: ``(sort_key, sequence, key, value)``.  The
+#: sequence number is a stable tie-break so sorting is deterministic even
+#: when sort keys collide.
+ShuffleEntry = Tuple[Any, int, Any, Any]
+
+
+@dataclass
+class ReduceTaskReport:
+    """Execution statistics of one reduce task (== one grid cell in SPQ jobs)."""
+
+    task_index: int
+    num_groups: int = 0
+    input_records: int = 0
+    consumed_records: int = 0
+    output_records: int = 0
+    shuffle_bytes: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    def work_units(self) -> int:
+        """Algorithm-reported work (counters in group ``"work"``), if any.
+
+        Falls back to the number of consumed records so that jobs that do not
+        report explicit work units still get a sensible cost.
+        """
+        work_group = self.counters.group("work")
+        if work_group:
+            return sum(work_group.values())
+        return self.consumed_records
+
+
+@dataclass
+class MapTaskResult:
+    """Everything one map task hands back to the orchestrator.
+
+    Attributes:
+        task_index: Position of the split in the input (merge order).
+        buckets: Sparse reduce-partition buckets with *task-local* sequence
+            numbers; the orchestrator rebases them onto the global counter.
+        num_input_records: Records this task consumed.
+        num_emitted: Key-value pairs this task emitted (sequence span).
+        counters: Counter deltas of this task, including the job's own
+            map-side counters.
+        task_state: The job's per-task cache export (see
+            :meth:`~repro.mapreduce.job.MapReduceJob.task_state`), handed
+            back explicitly so no mutable cache crosses a process boundary.
+    """
+
+    task_index: int
+    buckets: Dict[int, List[ShuffleEntry]]
+    num_input_records: int
+    num_emitted: int
+    counters: Counters
+    task_state: Optional[Any] = None
+
+
+class _ConsumptionTrackingIterator:
+    """Wraps a value iterator and counts how many items the reducer pulled."""
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        self._values = values
+        self._position = 0
+
+    def __iter__(self) -> "_ConsumptionTrackingIterator":
+        return self
+
+    def __next__(self) -> Any:
+        if self._position >= len(self._values):
+            raise StopIteration
+        value = self._values[self._position]
+        self._position += 1
+        return value
+
+    @property
+    def consumed(self) -> int:
+        return self._position
+
+
+def run_map_task(
+    job: MapReduceJob,
+    task_index: int,
+    records: Iterable[Any],
+    num_reducers: int,
+) -> MapTaskResult:
+    """Apply ``job.map`` to one input split and bucket the output."""
+    counters = Counters()
+    buckets: Dict[int, List[ShuffleEntry]] = {}
+    sequence = 0
+    num_records = 0
+    for record in records:
+        num_records += 1
+        try:
+            emitted = job.map(record, counters)
+        except Exception as exc:  # pragma: no cover - defensive re-raise
+            raise JobExecutionError(f"map failed on record {record!r}: {exc}") from exc
+        for key, value in emitted:
+            partition = job.partition(key, num_reducers)
+            if not 0 <= partition < num_reducers:
+                raise JobExecutionError(
+                    f"partition {partition} outside [0, {num_reducers}) for key {key!r}"
+                )
+            bucket = buckets.get(partition)
+            if bucket is None:
+                bucket = buckets[partition] = []
+            bucket.append((job.sort_key(key), sequence, key, value))
+            sequence += 1
+            counters.increment(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
+            counters.increment(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
+            counters.increment(
+                counter_names.GROUP_SHUFFLE,
+                counter_names.SHUFFLE_BYTES,
+                job.estimated_record_size(key, value),
+            )
+    counters.increment(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS, num_records)
+    return MapTaskResult(
+        task_index=task_index,
+        buckets=buckets,
+        num_input_records=num_records,
+        num_emitted=sequence,
+        counters=counters,
+        task_state=job.task_state(),
+    )
+
+
+def sort_bucket(bucket: List[ShuffleEntry]) -> None:
+    """Sort one partition bucket by ``(sort_key, sequence)``, in place."""
+    bucket.sort(key=lambda entry: (entry[0], entry[1]))
+
+
+def run_reduce_task(
+    job: MapReduceJob,
+    task_index: int,
+    bucket: List[ShuffleEntry],
+) -> Tuple[List[Any], ReduceTaskReport]:
+    """Sort, group and reduce one partition bucket."""
+    sort_bucket(bucket)
+    report = ReduceTaskReport(task_index=task_index, input_records=len(bucket))
+    task_counters = report.counters
+    outputs: List[Any] = []
+
+    for group, entries in itertools.groupby(bucket, key=lambda entry: job.group_key(entry[2])):
+        values = [value for _, _, _, value in entries]
+        report.num_groups += 1
+        iterator = _ConsumptionTrackingIterator(values)
+        try:
+            produced = job.reduce(group, iterator, task_counters)
+            produced = list(produced) if produced is not None else []
+        except Exception as exc:  # pragma: no cover - defensive re-raise
+            raise JobExecutionError(
+                f"reduce failed for group {group!r} in task {task_index}: {exc}"
+            ) from exc
+        report.consumed_records += iterator.consumed
+        report.output_records += len(produced)
+        outputs.extend(produced)
+    return outputs, report

@@ -191,6 +191,12 @@ class DatasetIndex:
         bucketed ``(sort_key, sequence, key, value)`` entries are computed
         once per job class and injected into every subsequent run, removing
         the data objects from the per-query map phase entirely.
+
+        Because the snapshot is cached here (one per job class per index),
+        its compact serialized form -- the per-partition pickle blobs of
+        :meth:`~repro.mapreduce.runtime.PreloadedShuffle.partition_blob`
+        that the process backend ships to its workers -- is also computed at
+        most once per index, not re-pickled for every query of a batch.
         """
         key = type(job)
         cached = self._data_shuffles.get(key)

@@ -23,10 +23,33 @@ from repro.mapreduce.partitioner import (
     HashPartitioner,
     Partitioner,
 )
-from repro.mapreduce.runtime import JobResult, LocalJobRunner, ReduceTaskReport
 from repro.mapreduce.hdfs import HDFS, HDFSFile, Block, DataNode
 from repro.mapreduce.cluster import ClusterNode, SimulatedCluster
-from repro.mapreduce.costmodel import CostModel, CostParameters
+
+#: Names re-exported lazily (PEP 562): the runtime depends on the pluggable
+#: execution backends in :mod:`repro.execution`, whose task primitives in
+#: turn import this package -- importing runtime (and the cost model, which
+#: depends on it) on first attribute access keeps the package import acyclic
+#: regardless of which module is imported first.
+_LAZY_EXPORTS = {
+    "LocalJobRunner": ("repro.mapreduce.runtime", "LocalJobRunner"),
+    "JobResult": ("repro.mapreduce.runtime", "JobResult"),
+    "ReduceTaskReport": ("repro.mapreduce.runtime", "ReduceTaskReport"),
+    "CostModel": ("repro.mapreduce.costmodel", "CostModel"),
+    "CostParameters": ("repro.mapreduce.costmodel", "CostParameters"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "MapReduceJob",

@@ -1,8 +1,7 @@
 """Local execution engine for MapReduce jobs.
 
-:class:`LocalJobRunner` runs a :class:`~repro.mapreduce.job.MapReduceJob`
-in-process, faithfully reproducing the Hadoop execution model the paper relies
-on:
+:class:`LocalJobRunner` runs a :class:`~repro.mapreduce.job.MapReduceJob`,
+faithfully reproducing the Hadoop execution model the paper relies on:
 
 1. the input is divided into *map tasks* (splits);
 2. each map task applies the job's ``map`` to its records and partitions the
@@ -13,6 +12,13 @@ on:
    iterator, so a reducer that stops reading values performs *early
    termination* and the engine records exactly how many values it consumed.
 
+The runner is an *orchestrator*: it builds splits, rebases shuffle sequence
+numbers, merges counters and reports -- always in task-index order -- and
+delegates the execution of individual map/reduce tasks to a pluggable
+:class:`~repro.execution.base.ExecutionBackend` (serial, thread pool, or a
+true multiprocess pool).  All backends produce bit-for-bit identical
+results, counters and reports; they differ only in wall-clock time.
+
 The runner collects global counters and a per-reduce-task report that the
 cluster cost model converts into simulated job time.
 """
@@ -20,38 +26,29 @@ cluster cost model converts into simulated job time.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+import pickle
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple
 
-from repro.exceptions import JobConfigurationError, JobExecutionError
+from repro.exceptions import JobConfigurationError
+from repro.execution.base import ExecutionBackend, ReduceTask
+from repro.execution.serial import SerialBackend
+from repro.execution.tasks import (
+    ReduceTaskReport,
+    ShuffleEntry,
+    run_map_task,
+)
+from repro.execution.thread import ThreadBackend
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 
-
-@dataclass
-class ReduceTaskReport:
-    """Execution statistics of one reduce task (== one grid cell in SPQ jobs)."""
-
-    task_index: int
-    num_groups: int = 0
-    input_records: int = 0
-    consumed_records: int = 0
-    output_records: int = 0
-    shuffle_bytes: int = 0
-    counters: Counters = field(default_factory=Counters)
-
-    def work_units(self) -> int:
-        """Algorithm-reported work (counters in group ``"work"``), if any.
-
-        Falls back to the number of consumed records so that jobs that do not
-        report explicit work units still get a sensible cost.
-        """
-        work_group = self.counters.group("work")
-        if work_group:
-            return sum(work_group.values())
-        return self.consumed_records
+__all__ = [
+    "JobResult",
+    "LocalJobRunner",
+    "PreloadedShuffle",
+    "ReduceTaskReport",
+]
 
 
 @dataclass
@@ -61,14 +58,15 @@ class PreloadedShuffle:
     Built by :meth:`LocalJobRunner.build_preloaded_shuffle` from records whose
     map output is query-independent (e.g. the data objects of an SPQ job,
     whose composite key depends only on the grid cell).  A cached instance can
-    be injected into many runs: each run copies the per-partition entry lists
-    before appending its own map output, and merges the recorded counter
-    deltas so accounting matches a run that mapped the records itself.
+    be injected into many runs: the per-partition entry lists are shared
+    read-only (each reduce task copies before appending its own live
+    entries), and the recorded counter deltas are merged into each run so
+    accounting matches a run that mapped the records itself.
 
     Attributes:
         partitions: Per reduce partition, the ``(sort_key, sequence, key,
-            value)`` entries exactly as :meth:`LocalJobRunner._run_map_phase`
-            would have bucketed them.
+            value)`` entries exactly as the map phase would have bucketed
+            them.
         num_input_records: Map input records these entries represent (counts
             toward the split/map-task accounting).
         next_sequence: First sequence number available to live map emissions,
@@ -77,10 +75,27 @@ class PreloadedShuffle:
             ``map`` incremented) the preloaded records contribute.
     """
 
-    partitions: List[List[Tuple[Any, int, Any, Any]]]
+    partitions: List[List[ShuffleEntry]]
     num_input_records: int
     next_sequence: int
     counters: Counters
+    #: Lazily pickled per-partition blobs -- the compact serialized form the
+    #: process backend ships to workers.  Cached here (the snapshot outlives
+    #: individual queries) so the index's entries are pickled once, not once
+    #: per query.
+    _blobs: Optional[List[Optional[bytes]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def partition_blob(self, index: int) -> bytes:
+        """Pickled form of ``partitions[index]`` (computed once, then cached)."""
+        if self._blobs is None:
+            self._blobs = [None] * len(self.partitions)
+        blob = self._blobs[index]
+        if blob is None:
+            blob = pickle.dumps(self.partitions[index], pickle.HIGHEST_PROTOCOL)
+            self._blobs[index] = blob
+        return blob
 
 
 @dataclass
@@ -105,39 +120,22 @@ class JobResult:
         return self.counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_BYTES)
 
 
-class _ConsumptionTrackingIterator:
-    """Wraps a value iterator and counts how many items the reducer pulled."""
-
-    def __init__(self, values: Sequence[Any]) -> None:
-        self._values = values
-        self._position = 0
-
-    def __iter__(self) -> "_ConsumptionTrackingIterator":
-        return self
-
-    def __next__(self) -> Any:
-        if self._position >= len(self._values):
-            raise StopIteration
-        value = self._values[self._position]
-        self._position += 1
-        return value
-
-    @property
-    def consumed(self) -> int:
-        return self._position
-
-
 class LocalJobRunner:
-    """Runs MapReduce jobs in-process.
+    """Runs MapReduce jobs through a pluggable execution backend.
 
     Args:
         num_reducers: Number of reduce tasks (``R``). For the SPQ jobs this is
             set to the number of grid cells, as in the paper's experiments.
         split_size: Number of input records per map task; controls the number
             of map tasks only (the map logic is record-at-a-time).
-        max_workers: If greater than 1, reduce tasks are executed by a thread
-            pool.  The default (1) runs everything serially, which is fully
-            deterministic and is what the tests use.
+        max_workers: Legacy thread-parallelism knob: ``1`` (the default)
+            selects the serial backend, ``> 1`` a thread backend with that
+            many workers.  Ignored when ``backend`` is given.
+        backend: The :class:`~repro.execution.base.ExecutionBackend` that
+            executes map splits and reduce partitions.  Defaults to
+            :class:`~repro.execution.serial.SerialBackend`, which is fully
+            deterministic and is what the tests use.  Backends are reusable:
+            one instance (and its worker pool) can serve many runs.
     """
 
     def __init__(
@@ -145,6 +143,7 @@ class LocalJobRunner:
         num_reducers: int,
         split_size: int = 10_000,
         max_workers: int = 1,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if num_reducers < 1:
             raise JobConfigurationError(f"num_reducers must be >= 1, got {num_reducers}")
@@ -152,9 +151,12 @@ class LocalJobRunner:
             raise JobConfigurationError(f"split_size must be >= 1, got {split_size}")
         if max_workers < 1:
             raise JobConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if backend is None:
+            backend = SerialBackend() if max_workers == 1 else ThreadBackend(max_workers)
         self.num_reducers = num_reducers
         self.split_size = split_size
         self.max_workers = max_workers
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
 
@@ -166,18 +168,18 @@ class LocalJobRunner:
     ) -> JobResult:
         """Execute ``job`` over ``records`` and return the full result.
 
-        When ``preloaded`` is given, its shuffle entries are injected before
-        the map phase runs over ``records``; the preloaded partition lists are
-        copied, never mutated, so one :class:`PreloadedShuffle` can serve many
-        runs concurrently with per-query record streams.
+        When ``preloaded`` is given, its shuffle entries are injected ahead
+        of this run's live map output; the preloaded partition lists are
+        copied, never mutated, so one :class:`PreloadedShuffle` can serve
+        many runs concurrently with per-query record streams.
         """
         counters = Counters()
         job.setup(counters)
 
-        partitions, num_map_tasks, touched = self._run_map_phase(
+        live, num_map_tasks, touched = self._run_map_phase(
             job, records, counters, preloaded
         )
-        skipped: Optional[set] = None
+        skipped: Optional[Set[int]] = None
         if preloaded is not None and job.preloaded_only_partitions_are_empty:
             # The job guarantees that a partition holding only preloaded
             # records reduces to nothing, so those tasks never need to run
@@ -188,8 +190,9 @@ class LocalJobRunner:
             counters.increment(
                 counter_names.GROUP_REDUCE, counter_names.REDUCE_TASKS_SKIPPED, len(skipped)
             )
-        self._sort_partitions(job, partitions, skipped)
-        outputs, reports = self._run_reduce_phase(job, partitions, counters, skipped)
+        outputs, reports = self._run_reduce_phase(
+            job, live, counters, preloaded, skipped
+        )
 
         job.cleanup(counters)
         return JobResult(
@@ -204,65 +207,73 @@ class LocalJobRunner:
     # ------------------------------------------------------------------ #
     # map + shuffle
 
+    def _split(self, records: Iterable[Any]) -> List[List[Any]]:
+        """Divide the input into map splits of ``split_size`` records."""
+        iterator = iter(records)
+        splits: List[List[Any]] = []
+        while True:
+            chunk = list(itertools.islice(iterator, self.split_size))
+            if not chunk:
+                break
+            splits.append(chunk)
+        return splits
+
     def _run_map_phase(
         self,
         job: MapReduceJob,
         records: Iterable[Any],
         counters: Counters,
         preloaded: Optional[PreloadedShuffle] = None,
-    ) -> Tuple[List[List[Tuple[Any, int, Any, Any]]], int, set]:
-        """Apply map to every record and bucket the output by reduce partition.
+    ) -> Tuple[List[List[ShuffleEntry]], int, Set[int]]:
+        """Run the map tasks through the backend and merge their buckets.
 
-        Each bucket entry is ``(sort_key, sequence, key, value)``; the sequence
-        number provides a stable tie-break so sorting is deterministic even
-        when sort keys collide.  Returns the bucketed partitions, the map-task
-        count and the set of partition indexes that received *live* (non
-        preloaded) output.
+        Per-task buckets are concatenated in task-index order with their
+        local sequence numbers rebased onto a global counter, reproducing
+        the exact emission order of a fully serial run.  Returns the live
+        (non-preloaded) partition buckets, the map-task count and the set
+        of partition indexes that received live output.
         """
         preloaded_records = 0
-        if preloaded is None:
-            partitions: List[List[Tuple[Any, int, Any, Any]]] = [
-                [] for _ in range(self.num_reducers)
-            ]
-            sequence = itertools.count()
-        else:
+        base = 0
+        if preloaded is not None:
             if len(preloaded.partitions) != self.num_reducers:
                 raise JobConfigurationError(
                     f"preloaded shuffle has {len(preloaded.partitions)} partitions, "
                     f"runner expects {self.num_reducers}"
                 )
-            partitions = [list(bucket) for bucket in preloaded.partitions]
-            sequence = itertools.count(preloaded.next_sequence)
             preloaded_records = preloaded.num_input_records
+            base = preloaded.next_sequence
             counters.merge(preloaded.counters)
-        num_records = 0
-        touched: set = set()
 
-        for record in records:
-            num_records += 1
-            try:
-                emitted = job.map(record, counters)
-            except Exception as exc:  # pragma: no cover - defensive re-raise
-                raise JobExecutionError(f"map failed on record {record!r}: {exc}") from exc
-            for key, value in emitted:
-                partition = job.partition(key, self.num_reducers)
-                if not 0 <= partition < self.num_reducers:
-                    raise JobExecutionError(
-                        f"partition {partition} outside [0, {self.num_reducers}) for key {key!r}"
+        splits = self._split(records)
+        map_results = self.backend.run_map_tasks(job, splits, self.num_reducers)
+
+        live: List[List[ShuffleEntry]] = [[] for _ in range(self.num_reducers)]
+        touched: Set[int] = set()
+        num_records = 0
+        for result in map_results:
+            num_records += result.num_input_records
+            counters.merge(result.counters)
+            if result.task_state is not None:
+                job.merge_task_state(result.task_state)
+            for index, entries in result.buckets.items():
+                touched.add(index)
+                bucket = live[index]
+                if base:
+                    bucket.extend(
+                        (sort_key, base + sequence, key, value)
+                        for sort_key, sequence, key, value in entries
                     )
-                partitions[partition].append((job.sort_key(key), next(sequence), key, value))
-                touched.add(partition)
-                counters.increment(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
-                counters.increment(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
-                counters.increment(
-                    counter_names.GROUP_SHUFFLE,
-                    counter_names.SHUFFLE_BYTES,
-                    job.estimated_record_size(key, value),
-                )
-        counters.increment(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS, num_records)
+                else:
+                    bucket.extend(entries)
+            base += result.num_emitted
+        # The input-records counter must exist even for an empty input (no
+        # map task ran to create it), matching record-at-a-time accounting.
+        counters.increment(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS, 0)
+
         total_inputs = num_records + preloaded_records
         num_map_tasks = -(-total_inputs // self.split_size) if total_inputs else 1
-        return partitions, num_map_tasks, touched
+        return live, num_map_tasks, touched
 
     # ------------------------------------------------------------------ #
     # preloaded shuffle construction
@@ -278,29 +289,16 @@ class LocalJobRunner:
         batch).  Counter increments performed by ``job.map`` are captured in
         the snapshot and replayed into each run that injects it.
         """
-        counters = Counters()
-        partitions, _, _ = self._run_map_phase(job, records, counters)
-        next_sequence = sum(len(bucket) for bucket in partitions)
-        num_input_records = counters.get(
-            counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS
-        )
+        result = run_map_task(job, 0, records, self.num_reducers)
+        partitions = [
+            result.buckets.get(index, []) for index in range(self.num_reducers)
+        ]
         return PreloadedShuffle(
             partitions=partitions,
-            num_input_records=num_input_records,
-            next_sequence=next_sequence,
-            counters=counters,
+            num_input_records=result.num_input_records,
+            next_sequence=result.num_emitted,
+            counters=result.counters,
         )
-
-    @staticmethod
-    def _sort_partitions(
-        job: MapReduceJob,
-        partitions: List[List[Tuple[Any, int, Any, Any]]],
-        skipped: Optional[set] = None,
-    ) -> None:
-        for index, bucket in enumerate(partitions):
-            if skipped is not None and index in skipped:
-                continue
-            bucket.sort(key=lambda entry: (entry[0], entry[1]))
 
     # ------------------------------------------------------------------ #
     # reduce
@@ -308,28 +306,32 @@ class LocalJobRunner:
     def _run_reduce_phase(
         self,
         job: MapReduceJob,
-        partitions: List[List[Tuple[Any, int, Any, Any]]],
+        live: List[List[ShuffleEntry]],
         counters: Counters,
-        skipped: Optional[set] = None,
+        preloaded: Optional[PreloadedShuffle] = None,
+        skipped: Optional[Set[int]] = None,
     ) -> Tuple[List[Any], List[ReduceTaskReport]]:
-        tasks = [
-            (index, bucket)
-            for index, bucket in enumerate(partitions)
-            if skipped is None or index not in skipped
-        ]
-        if self.max_workers == 1:
-            task_results = [
-                self._run_reduce_task(job, index, bucket) for index, bucket in tasks
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                task_results = list(
-                    pool.map(
-                        lambda pair: self._run_reduce_task(job, pair[0], pair[1]),
-                        tasks,
+        tasks: List[ReduceTask] = []
+        for index, bucket in enumerate(live):
+            if skipped is not None and index in skipped:
+                continue
+            if preloaded is not None:
+                tasks.append(
+                    ReduceTask(
+                        task_index=index,
+                        entries=bucket,
+                        preloaded_entries=preloaded.partitions[index],
+                        preloaded_blob=lambda i=index: preloaded.partition_blob(i),
                     )
                 )
+            else:
+                tasks.append(ReduceTask(task_index=index, entries=bucket))
 
+        task_results = self.backend.run_reduce_tasks(job, tasks)
+
+        # Backends return results in task-index order, so this merge -- and
+        # therefore the aggregated counters -- is deterministic regardless
+        # of how the tasks were actually scheduled.
         outputs: List[Any] = []
         reports: List[ReduceTaskReport] = []
         for task_outputs, report in task_results:
@@ -355,26 +357,3 @@ class LocalJobRunner:
                 report.output_records,
             )
         return outputs, reports
-
-    def _run_reduce_task(
-        self, job: MapReduceJob, task_index: int, bucket: List[Tuple[Any, int, Any, Any]]
-    ) -> Tuple[List[Any], ReduceTaskReport]:
-        report = ReduceTaskReport(task_index=task_index, input_records=len(bucket))
-        task_counters = report.counters
-        outputs: List[Any] = []
-
-        for group, entries in itertools.groupby(bucket, key=lambda entry: job.group_key(entry[2])):
-            values = [value for _, _, _, value in entries]
-            report.num_groups += 1
-            iterator = _ConsumptionTrackingIterator(values)
-            try:
-                produced = job.reduce(group, iterator, task_counters)
-                produced = list(produced) if produced is not None else []
-            except Exception as exc:  # pragma: no cover - defensive re-raise
-                raise JobExecutionError(
-                    f"reduce failed for group {group!r} in task {task_index}: {exc}"
-                ) from exc
-            report.consumed_records += iterator.consumed
-            report.output_records += len(produced)
-            outputs.extend(produced)
-        return outputs, report

@@ -191,6 +191,76 @@ class TestBatchCommand:
         assert "unknown algorithm" in capsys.readouterr().err
 
 
+class TestBackendFlags:
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "300",
+              "--output", str(output)])
+        return output
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--input", "x", "--keywords", "a", "--backend", "bogus"]
+            )
+
+    def test_serial_backend_with_workers_rejected(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001",
+            "--radius", "3.0", "--grid-size", "6",
+            "--backend", "serial", "--workers", "4",
+        ])
+        assert code == 2
+        assert "single-worker" in capsys.readouterr().err
+
+    def test_nonpositive_workers_rejected(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001",
+            "--radius", "3.0", "--grid-size", "6",
+            "--backend", "process", "--workers", "0",
+        ])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_query_backends_match_serial_output(self, dataset_file, backend, capsys):
+        base_args = [
+            "query", "--input", str(dataset_file), "--keywords", "w0001,w0002",
+            "--k", "3", "--radius", "4.0", "--grid-size", "6",
+        ]
+        assert main(base_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base_args + ["--backend", backend, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert f"backend={backend}" in parallel_out
+        # Everything but the backend tag in the header line is identical.
+        assert serial_out.splitlines()[1:] == parallel_out.splitlines()[1:]
+
+    def test_batch_backend_flag_and_stats(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "q.jsonl"
+        query_file.write_text('{"keywords": ["w0001"], "k": 3, "radius": 4.0}\n')
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--output", "-", "--stats",
+            "--backend", "process", "--workers", "2",
+        ])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["stats"]["backend"] == "process"
+        assert record["stats"]["workers"] == 2
+
+    def test_batch_serial_workers_combination_rejected(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "q.jsonl"
+        query_file.write_text('{"keywords": ["w0001"], "radius": 4.0}\n')
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--backend", "serial", "--workers", "2",
+        ])
+        assert code == 2
+        assert "single-worker" in capsys.readouterr().err
+
+
 class TestAnalyzeCommand:
     def test_duplication_table(self, capsys):
         code = main(["analyze", "duplication", "--cell-side", "10", "--radius", "2"])

@@ -1,0 +1,305 @@
+"""Equivalence and configuration tests for the pluggable execution backends.
+
+The contract under test: the serial, thread and process backends produce
+bit-for-bit identical job results -- outputs, counters, per-task reports and
+therefore the cost model's simulated seconds -- for all three SPQ algorithms,
+on both the per-query and the pre-partitioned batch path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineConfig, SPQEngine
+from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob
+from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+from repro.exceptions import JobConfigurationError
+from repro.execution import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    execution_info,
+    resolve_backend_spec,
+    validate_backend_spec,
+)
+from repro.mapreduce.runtime import LocalJobRunner
+from repro.model.query import SpatialPreferenceQuery
+from repro.spatial.grid import UniformGrid
+
+ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+JOB_CLASSES = {"pspq": PSPQJob, "espq-len": ESPQLenJob, "espq-sco": ESPQScoJob}
+
+#: Stats keys that must be identical across backends (wall time and backend
+#: identity legitimately differ).
+IDENTICAL_STATS = (
+    "simulated_seconds",
+    "simulated_breakdown",
+    "counters",
+    "num_map_tasks",
+    "num_reduce_tasks",
+    "shuffled_records",
+    "shuffled_bytes",
+    "features_examined",
+    "score_computations",
+    "feature_duplicates",
+    "features_pruned",
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticDatasetConfig(num_objects=600, seed=3)
+    return generate_uniform(config)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [
+        SpatialPreferenceQuery.create(k=5, radius=3.0, keywords=keywords)
+        for keywords in (
+            frozenset({"w0001", "w0002", "w0003"}),
+            frozenset({"w0010"}),
+            frozenset({"w0002", "w0777"}),
+            frozenset({"w0042", "w0043"}),
+        )
+    ]
+
+
+def make_backend(name):
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers=3)
+    return ProcessBackend(workers=2)
+
+
+def report_dicts(result):
+    return [
+        {
+            "task_index": report.task_index,
+            "num_groups": report.num_groups,
+            "input_records": report.input_records,
+            "consumed_records": report.consumed_records,
+            "output_records": report.output_records,
+            "counters": report.counters.as_dict(),
+        }
+        for report in result.reduce_reports
+    ]
+
+
+# --------------------------------------------------------------------- #
+# runner-level equivalence
+
+
+class TestRunnerEquivalence:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_outputs_counters_reports_match_serial(
+        self, dataset, queries, algorithm, backend_name
+    ):
+        data, features = dataset
+        from repro.core.centralized import dataset_extent
+
+        grid = UniformGrid.square(dataset_extent(data, features), 6)
+        records = list(data) + list(features)
+        query = queries[0]
+        job_class = JOB_CLASSES[algorithm]
+
+        baseline = LocalJobRunner(num_reducers=grid.num_cells).run(
+            job_class(query, grid), records
+        )
+        backend = make_backend(backend_name)
+        try:
+            # A small split size forces several map tasks, exercising the
+            # cross-task sequence rebasing of the orchestrator.
+            runner = LocalJobRunner(
+                num_reducers=grid.num_cells, split_size=200, backend=backend
+            )
+            result = runner.run(job_class(query, grid), records)
+        finally:
+            backend.close()
+
+        assert result.outputs == baseline.outputs
+        assert result.counters.as_dict() == baseline.counters.as_dict()
+        assert report_dicts(result) == report_dicts(baseline)
+        assert result.num_reduce_tasks == baseline.num_reduce_tasks
+
+    def test_thread_pool_counters_merge_in_task_index_order(self, dataset, queries):
+        """Regression: max_workers>1 must aggregate counters deterministically.
+
+        Per-task counters are merged in task-index order no matter when each
+        thread finishes, so repeated parallel runs match serial bit for bit.
+        """
+        data, features = dataset
+        from repro.core.centralized import dataset_extent
+
+        grid = UniformGrid.square(dataset_extent(data, features), 6)
+        records = list(data) + list(features)
+        for algorithm in ALGORITHMS:
+            job_class = JOB_CLASSES[algorithm]
+            serial = LocalJobRunner(num_reducers=grid.num_cells).run(
+                job_class(queries[0], grid), records
+            )
+            for _ in range(3):
+                threaded = LocalJobRunner(
+                    num_reducers=grid.num_cells, max_workers=4
+                ).run(job_class(queries[0], grid), records)
+                assert threaded.outputs == serial.outputs
+                assert threaded.counters.as_dict() == serial.counters.as_dict()
+                assert report_dicts(threaded) == report_dicts(serial)
+
+    def test_legacy_max_workers_selects_thread_backend(self):
+        assert isinstance(LocalJobRunner(num_reducers=1).backend, SerialBackend)
+        runner = LocalJobRunner(num_reducers=1, max_workers=4)
+        assert isinstance(runner.backend, ThreadBackend)
+        assert runner.backend.workers == 4
+
+    def test_process_backend_propagates_task_errors(self, dataset, queries):
+        """Worker-side failures surface in the parent like serial failures do."""
+        data, features = dataset
+        from repro.core.centralized import dataset_extent
+
+        grid = UniformGrid.square(dataset_extent(data, features), 4)
+        bad_records = [object()] * 120  # unsupported record type
+        with pytest.raises(TypeError):
+            LocalJobRunner(num_reducers=grid.num_cells).run(
+                PSPQJob(queries[0], grid), bad_records
+            )
+        backend = ProcessBackend(workers=2)
+        try:
+            runner = LocalJobRunner(
+                num_reducers=grid.num_cells, split_size=50, backend=backend
+            )
+            with pytest.raises(TypeError):
+                runner.run(PSPQJob(queries[0], grid), bad_records)
+        finally:
+            backend.close()
+
+
+# --------------------------------------------------------------------- #
+# engine-level equivalence
+
+
+class TestEngineEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_results(self, dataset, queries):
+        data, features = dataset
+        engine = SPQEngine(data, features)
+        results = {}
+        for algorithm in ALGORITHMS:
+            results[algorithm] = {
+                "execute": [
+                    engine.execute(query, algorithm=algorithm, grid_size=6)
+                    for query in queries
+                ],
+                "batch": engine.execute_many(queries, algorithm=algorithm, grid_size=6),
+            }
+        return results
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("backend_name", ("thread", "process"))
+    def test_query_results_match_serial(
+        self, dataset, queries, serial_results, algorithm, backend_name
+    ):
+        data, features = dataset
+        config = EngineConfig(backend=backend_name, workers=2)
+        with SPQEngine(data, features, config=config) as engine:
+            executed = [
+                engine.execute(query, algorithm=algorithm, grid_size=6)
+                for query in queries
+            ]
+            batched = engine.execute_many(queries, algorithm=algorithm, grid_size=6)
+
+        for mode, results in (("execute", executed), ("batch", batched)):
+            for mine, reference in zip(results, serial_results[algorithm][mode]):
+                assert mine.object_ids() == reference.object_ids()
+                assert mine.scores() == reference.scores()
+                for key in IDENTICAL_STATS:
+                    assert mine.stats[key] == reference.stats[key], (mode, key)
+                assert mine.stats["backend"] == backend_name
+                assert mine.stats["workers"] == 2
+
+    def test_engine_close_is_reentrant_and_recreates_backend(self, dataset, queries):
+        data, features = dataset
+        config = EngineConfig(backend="thread", workers=2)
+        engine = SPQEngine(data, features, config=config)
+        first = engine.execute(queries[0], grid_size=6)
+        engine.close()
+        engine.close()
+        second = engine.execute(queries[0], grid_size=6)
+        assert first.object_ids() == second.object_ids()
+        engine.close()
+
+
+# --------------------------------------------------------------------- #
+# configuration and resolution
+
+
+class TestBackendConfiguration:
+    def test_backend_names_are_stable(self):
+        assert BACKEND_NAMES == ("serial", "thread", "process")
+
+    def test_serial_with_multiple_workers_rejected(self):
+        with pytest.raises(JobConfigurationError):
+            validate_backend_spec("serial", 4)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(JobConfigurationError):
+            validate_backend_spec("celery", 1)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(JobConfigurationError):
+            validate_backend_spec("process", 0)
+
+    def test_defaults_resolve_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_backend_spec() == ("serial", 1)
+
+    def test_env_var_seeds_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_backend_spec() == ("process", 3)
+        assert execution_info() == {"backend": "process", "workers": 3}
+
+    def test_explicit_choice_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend_spec("thread", 2) == ("thread", 2)
+
+    def test_legacy_thread_workers_beat_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend_spec(fallback_thread_workers=4) == ("thread", 4)
+
+    def test_bad_env_workers_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(JobConfigurationError):
+            resolve_backend_spec("process")
+
+    def test_create_backend_instantiates_each_kind(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        thread = create_backend("thread", 2)
+        assert isinstance(thread, ThreadBackend) and thread.workers == 2
+        process = create_backend("process", 2)
+        assert isinstance(process, ProcessBackend) and process.workers == 2
+        process.close()
+        thread.close()
+
+
+# --------------------------------------------------------------------- #
+# preloaded-shuffle compact form
+
+
+class TestPreloadedShuffleBlobs:
+    def test_partition_blob_is_cached(self, dataset, queries):
+        import pickle
+
+        data, features = dataset
+        engine = SPQEngine(data, features)
+        index = engine.get_index(grid_size=6)
+        job = PSPQJob(queries[0], index.grid)
+        shuffle = index.data_shuffle(job)
+        blob = shuffle.partition_blob(0)
+        assert shuffle.partition_blob(0) is blob  # computed once, then cached
+        assert pickle.loads(blob) == shuffle.partitions[0]
