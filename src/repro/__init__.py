@@ -16,9 +16,10 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every figure.
 """
 
-from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.core.engine import ALGORITHM_CHOICES, ALGORITHMS, EngineConfig, SPQEngine
 from repro.execution import BACKEND_NAMES, ExecutionBackend, create_backend
 from repro.index import BatchQuery, DatasetIndex, IndexCache
+from repro.planner import AUTO_ALGORITHM, PlannerDecision, QueryPlanner
 from repro.model import (
     DataObject,
     FeatureObject,
@@ -28,12 +29,16 @@ from repro.model import (
     TopKList,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SPQEngine",
     "EngineConfig",
     "ALGORITHMS",
+    "ALGORITHM_CHOICES",
+    "AUTO_ALGORITHM",
+    "QueryPlanner",
+    "PlannerDecision",
     "BACKEND_NAMES",
     "ExecutionBackend",
     "create_backend",

@@ -32,7 +32,8 @@ from typing import List, Optional, Sequence
 from repro import __version__
 from repro.core.analysis import duplication_factor, reducer_cost_model
 from repro.core.centralized import dataset_extent
-from repro.core.engine import ALGORITHMS, EngineConfig, SPQEngine
+from repro.core.engine import ALGORITHM_CHOICES, EngineConfig, SPQEngine
+from repro.planner import AUTO_ALGORITHM, PLANNED_ALGORITHMS
 from repro.core.scoring import SCORE_MODES
 from repro.exceptions import JobConfigurationError
 from repro.execution import BACKEND_NAMES, resolve_backend_spec
@@ -116,6 +117,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.explain and args.algorithm != AUTO_ALGORITHM:
+        print(
+            "error: --explain prints the planner's per-algorithm cost estimates "
+            "and requires --algorithm auto",
+            file=sys.stderr,
+        )
+        return 2
     data, features = load_dataset(args.input)
     if not data:
         print("error: dataset contains no data objects", file=sys.stderr)
@@ -140,11 +148,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     try:
         result = engine.execute(query, algorithm=args.algorithm, grid_size=args.grid_size)
+    except (InvalidQueryError, JobConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         engine.close()
     backend_name = result.stats.get("backend", config.backend)
     print(f"Query: {query.describe()}  [algorithm={args.algorithm}, grid={args.grid_size}, "
           f"backend={backend_name}]")
+    if args.explain:
+        _print_plan(result.stats)
     if not result.entries:
         print("No data object has a positive score for this query.")
     for rank, entry in enumerate(result, start=1):
@@ -153,6 +166,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.stats and "simulated_seconds" in result.stats:
         stats = result.stats
         print("\nExecution statistics:")
+        if "planned_algorithm" in stats:
+            print(f"  planned algorithm:   {stats['planned_algorithm']}")
         print(f"  reduce tasks:        {stats['num_reduce_tasks']}")
         print(f"  shuffled records:    {stats['shuffled_records']}")
         print(f"  features pruned:     {stats['features_pruned']}")
@@ -160,6 +175,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"  score computations:  {stats['score_computations']}")
         print(f"  simulated job time:  {stats['simulated_seconds']:.1f}s")
     return 0
+
+
+def _print_plan(stats: dict) -> None:
+    """The ``--explain`` block: per-algorithm estimates plus the winner."""
+    estimates = stats.get("planner_estimates", {})
+    chosen = stats.get("planned_algorithm", "?")
+    calibrated = "calibrated" if stats.get("planner_calibrated") else "cold start"
+    print(f"Planner decision ({calibrated}):")
+    for algorithm in PLANNED_ALGORITHMS:
+        if algorithm not in estimates:
+            continue
+        marker = "  <== chosen" if algorithm == chosen else ""
+        print(f"  {algorithm:<10} estimated {estimates[algorithm]:>10.2f}s{marker}")
 
 
 # --------------------------------------------------------------------- #
@@ -210,10 +238,10 @@ def _parse_batch_line(
     except (InvalidQueryError, TypeError) as exc:
         raise ValueError(f"line {line_number}: {exc}") from exc
     algorithm = spec.get("algorithm")
-    if algorithm is not None and algorithm not in ALGORITHMS:
+    if algorithm is not None and algorithm not in ALGORITHM_CHOICES:
         raise ValueError(
             f"line {line_number}: unknown algorithm {algorithm!r}; "
-            f"expected one of {ALGORITHMS}"
+            f"expected one of {ALGORITHM_CHOICES}"
         )
     score_mode = spec.get("score_mode")
     if score_mode is not None and score_mode not in SCORE_MODES:
@@ -266,7 +294,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         results = engine.execute_many(
             items, algorithm=args.algorithm, grid_size=args.grid_size
         )
-    except InvalidQueryError as exc:
+    except (InvalidQueryError, JobConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -289,6 +317,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     for e in result
                 ],
             }
+            if "planned_algorithm" in result.stats:
+                record["planned_algorithm"] = result.stats["planned_algorithm"]
             if args.stats:
                 record["stats"] = {
                     key: result.stats.get(key)
@@ -301,6 +331,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                         "features_examined",
                         "score_computations",
                         "simulated_seconds",
+                        "planner_estimates",
                         "index",
                     )
                     if key in result.stats
@@ -395,7 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--radius-fraction", type=float, default=0.10,
                        help="radius as a fraction of the grid-cell side (default 0.10)")
     query.add_argument("--grid-size", type=int, default=50)
-    query.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco")
+    query.add_argument("--algorithm", choices=ALGORITHM_CHOICES, default="espq-sco",
+                       help="algorithm to run, or 'auto' to let the cost-based "
+                            "planner choose per query")
+    query.add_argument("--explain", action="store_true",
+                       help="with --algorithm auto: print the planner's "
+                            "per-algorithm cost estimates and the chosen algorithm")
     query.add_argument("--stats", action="store_true", help="print execution statistics")
     _add_backend_arguments(query)
     query.set_defaults(func=_cmd_query)
@@ -419,8 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--radius-fraction", type=float, default=0.10,
                        help="default radius as a fraction of the grid-cell side")
     batch.add_argument("--grid-size", type=int, default=50)
-    batch.add_argument("--algorithm", choices=ALGORITHMS, default="espq-sco",
-                       help="default algorithm for query lines")
+    batch.add_argument("--algorithm", choices=ALGORITHM_CHOICES, default="espq-sco",
+                       help="default algorithm for query lines ('auto' engages "
+                            "the cost-based planner per query)")
     batch.add_argument("--stats", action="store_true",
                        help="attach per-query stats and print cache summary")
     _add_backend_arguments(batch)

@@ -45,11 +45,22 @@ from repro.mapreduce.runtime import JobResult, LocalJobRunner, PreloadedShuffle
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.planner.core import (
+    AUTO_ALGORITHM,
+    PlannerConfig,
+    PlannerDecision,
+    QueryPlanner,
+    resolve_planner_mode,
+)
 from repro.spatial.geometry import BoundingBox
 from repro.spatial.grid import UniformGrid
 
-#: Names accepted by :meth:`SPQEngine.execute`.
+#: Names of the concrete algorithms :meth:`SPQEngine.execute` can run.
 ALGORITHMS = ("pspq", "espq-len", "espq-sco", "centralized")
+
+#: Everything ``algorithm=`` accepts: the concrete algorithms plus
+#: ``"auto"``, which lets the cost-based planner choose per query.
+ALGORITHM_CHOICES = ALGORITHMS + (AUTO_ALGORITHM,)
 
 _JOB_CLASSES = {
     "pspq": PSPQJob,
@@ -91,6 +102,13 @@ class EngineConfig:
             positively scored objects).
         index_cache_capacity: How many :class:`DatasetIndex` instances (one
             per grid size) the engine keeps alive for batch execution.
+        planner_mode: ``"on"`` (cost-based planning + calibration, the
+            default) or ``"off"`` (``algorithm="auto"`` is rejected and no
+            planner statistics are collected).  ``None`` defers to the
+            ``REPRO_PLANNER`` environment variable, then ``"on"``.
+        planner_memory: Bounded calibration memory -- how many query-class
+            entries the planner's calibrator keeps (LRU).
+        planner_smoothing: EWMA weight of each new calibration observation.
     """
 
     grid_size: int = 50
@@ -101,6 +119,9 @@ class EngineConfig:
     max_workers: int = 1
     pad_with_zero_scores: bool = False
     index_cache_capacity: int = 4
+    planner_mode: Optional[str] = None
+    planner_memory: int = 64
+    planner_smoothing: float = 0.3
 
 
 class SPQEngine:
@@ -123,6 +144,16 @@ class SPQEngine:
         self._oid_index: Optional[Dict[str, DataObject]] = None
         self._oid_index_source: Optional[List[DataObject]] = None
         self._backend: Optional[ExecutionBackend] = None
+        self._planner: Optional[QueryPlanner] = None
+        self._planner_mode: Optional[str] = None
+        if extent is not None and (extent.width <= 0 or extent.height <= 0):
+            raise InvalidQueryError(
+                f"explicit engine extent is degenerate ({extent.width} x "
+                f"{extent.height}); a query-time grid needs positive width and "
+                "height.  Omit the extent to let the engine pad a degenerate "
+                "dataset bounding box (collinear or identical points) "
+                "automatically."
+            )
 
     # ------------------------------------------------------------------ #
     # execution backend lifecycle
@@ -162,6 +193,43 @@ class SPQEngine:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # adaptive planner
+
+    @property
+    def planner_mode(self) -> str:
+        """Resolved planner mode (``"on"``/``"off"``; cached per engine).
+
+        Raises:
+            JobConfigurationError: for an invalid ``REPRO_PLANNER`` value.
+        """
+        if self._planner_mode is None:
+            self._planner_mode = resolve_planner_mode(self.config.planner_mode)
+        return self._planner_mode
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """This engine's adaptive query planner (created lazily, persistent).
+
+        The planner's calibration state survives dataset changes; stale
+        observations decay through the EWMA as new queries run.
+        """
+        if self._planner is None:
+            self._planner = QueryPlanner(
+                cluster=self.config.cluster,
+                parameters=self.config.cost_parameters,
+                config=PlannerConfig(
+                    mode=self.planner_mode,
+                    memory=self.config.planner_memory,
+                    smoothing=self.config.planner_smoothing,
+                ),
+            )
+        return self._planner
+
+    def _active_planner(self) -> Optional[QueryPlanner]:
+        """The planner when planning/calibration is enabled, else None."""
+        return self.planner if self.planner_mode == "on" else None
 
     # ------------------------------------------------------------------ #
 
@@ -242,8 +310,11 @@ class SPQEngine:
 
         Args:
             query: The query ``q(k, r, W)``.
-            algorithm: One of ``"pspq"``, ``"espq-len"``, ``"espq-sco"`` or
-                ``"centralized"``.
+            algorithm: One of ``"pspq"``, ``"espq-len"``, ``"espq-sco"``,
+                ``"centralized"``, or ``"auto"`` to let the cost-based
+                planner pick the cheapest MapReduce algorithm for this query
+                (recorded in ``result.stats["planned_algorithm"]`` together
+                with the per-algorithm estimate vector).
             grid_size: Cells per axis for this query (defaults to the engine
                 configuration); ignored by the centralized algorithm.
             score_mode: ``"range"`` (the paper's score, default) or
@@ -254,11 +325,24 @@ class SPQEngine:
 
         Raises:
             InvalidQueryError: for an unknown algorithm name or an unsupported
-                algorithm / score-mode combination.
+                algorithm / score-mode combination, and for ``"auto"`` when
+                the planner is disabled.
         """
         self._validate(algorithm, score_mode)
         if algorithm == "centralized":
             return self._execute_centralized(query, score_mode)
+        if algorithm == AUTO_ALGORITHM:
+            # Planning needs the index statistics, so auto always runs on
+            # the index-backed path (identical results either way).
+            return self._execute_planned(
+                PlannedQuery(
+                    position=0,
+                    query=query,
+                    algorithm=AUTO_ALGORITHM,
+                    grid_size=grid_size or self.config.grid_size,
+                    score_mode=score_mode,
+                )
+            )
         grid = self.build_grid(grid_size)
         job = self._make_job(algorithm, query, grid, score_mode)
         return self._run_job(job, grid, query, self._input_records())
@@ -284,6 +368,11 @@ class SPQEngine:
         returned in input order and are identical to what per-query
         :meth:`execute` calls would produce.
 
+        ``algorithm="auto"`` (as the batch default or per-item override)
+        engages the cost-based planner: queries of an auto group share the
+        group's index build while each query gets its own per-algorithm cost
+        estimates and, potentially, a different chosen algorithm.
+
         Raises:
             InvalidQueryError: if any item is invalid; validation happens
                 up front, before any query runs.
@@ -294,6 +383,10 @@ class SPQEngine:
             default_grid_size=grid_size or self.config.grid_size,
             default_score_mode=score_mode,
         )
+        # Resolve the planner mode up front (it gates planning *and*
+        # calibration of every item) so a bad REPRO_PLANNER value fails
+        # here, before any query runs, like the rest of the validation.
+        self.planner_mode
         for item in plan:
             self._validate(item.algorithm, item.score_mode)
 
@@ -306,10 +399,23 @@ class SPQEngine:
     # internals
 
     def _validate(self, algorithm: str, score_mode: str) -> None:
-        if algorithm not in ALGORITHMS:
+        if algorithm not in ALGORITHM_CHOICES:
             raise InvalidQueryError(
-                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"
             )
+        if algorithm == AUTO_ALGORITHM:
+            if score_mode != "range":
+                raise InvalidQueryError(
+                    "algorithm='auto' plans only the 'range' score mode (the "
+                    "early-termination algorithms it chooses between are "
+                    "defined for 'range' only); pick an algorithm explicitly"
+                )
+            if self.planner_mode != "on":
+                raise InvalidQueryError(
+                    "algorithm='auto' requires the cost-based planner, which "
+                    "is disabled (planner_mode / $REPRO_PLANNER is 'off')"
+                )
+            return
         if algorithm == "centralized":
             return
         if score_mode != "range" and algorithm != "pspq":
@@ -337,10 +443,31 @@ class SPQEngine:
         if item.algorithm == "centralized":
             return self._execute_centralized(item.query, item.score_mode)
         index, cache_hit = self._get_index(item.grid_size)
-        prepared = index.prepare(item.query)
-        job = self._make_job(item.algorithm, item.query, index.grid, item.score_mode)
+        planner = self._active_planner()
+        statistics = None
+        decision: Optional[PlannerDecision] = None
+        if planner is not None:
+            statistics = planner.collect(index, item.query, item.grid_size)
+        algorithm = item.algorithm
+        if algorithm == AUTO_ALGORITHM:
+            # _validate rejected "auto" already when the planner is off, so
+            # statistics are guaranteed here.
+            decision = planner.decide(statistics)
+            algorithm = decision.algorithm
+        prepared = index.prepare(
+            item.query,
+            candidates=statistics.candidate_positions if statistics else None,
+        )
+        job = self._make_job(algorithm, item.query, index.grid, item.score_mode)
         job.share_feature_sizes(index.feature_sizes)
-        return self._run_job(
+        planner_stats = None
+        if decision is not None:
+            planner_stats = {
+                "planned_algorithm": decision.algorithm,
+                "planner_estimates": dict(decision.estimates),
+                "planner_calibrated": decision.calibrated,
+            }
+        result = self._run_job(
             job,
             index.grid,
             item.query,
@@ -353,7 +480,19 @@ class SPQEngine:
                 "candidate_features": prepared.num_candidates,
                 "index_build_seconds": index.stats.build_seconds,
             },
+            planner_stats=planner_stats,
         )
+        if planner is not None and statistics is not None:
+            # Calibration: every executed distributed query refines the
+            # estimates for the algorithm that ran, whether the planner
+            # chose it or the caller fixed it.
+            planner.observe(
+                statistics,
+                algorithm,
+                result.stats["counters"],
+                result.stats["simulated_breakdown"],
+            )
+        return result
 
     def _make_job(
         self,
@@ -376,6 +515,7 @@ class SPQEngine:
         preloaded: Optional[PreloadedShuffle] = None,
         pruned_by_index: int = 0,
         index_stats: Optional[Dict[str, object]] = None,
+        planner_stats: Optional[Dict[str, object]] = None,
     ) -> QueryResult:
         backend = self.backend
         runner = LocalJobRunner(num_reducers=grid.num_cells, backend=backend)
@@ -416,6 +556,8 @@ class SPQEngine:
         }
         if index_stats:
             stats["index"] = dict(index_stats)
+        if planner_stats:
+            stats.update(planner_stats)
         return QueryResult(entries, stats=stats)
 
     def _input_records(self) -> Iterable:

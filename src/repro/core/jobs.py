@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Tuple
 
 from repro.index.records import PreAssignedData, PreAssignedFeature
+from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 from repro.core.scoring import feature_contribution
@@ -131,6 +132,7 @@ class _SPQJobBase(MapReduceJob):
             # otherwise), so the feature counts as kept, not pruned.
             counters.increment(SPQ_GROUP, FEATURES_KEPT)
             counters.increment(SPQ_GROUP, FEATURE_DUPLICATES, len(record.cell_ids) - 1)
+            self._count_map_feature_work(len(record.cell_ids), counters)
             value = self._feature_value(record.obj)
             for cell_id in record.cell_ids:
                 yield self._feature_key(cell_id, record.obj), value
@@ -150,6 +152,7 @@ class _SPQJobBase(MapReduceJob):
         counters.increment(SPQ_GROUP, FEATURES_KEPT)
         cells = self.partitioner.assign_feature_object(record)
         counters.increment(SPQ_GROUP, FEATURE_DUPLICATES, len(cells) - 1)
+        self._count_map_feature_work(len(cells), counters)
         for cell_id in cells:
             yield self._feature_key(cell_id, record), self._feature_value(record)
 
@@ -161,6 +164,15 @@ class _SPQJobBase(MapReduceJob):
 
     def _feature_value(self, feature: FeatureObject) -> Any:
         return feature
+
+    def _count_map_feature_work(self, copies: int, counters: Counters) -> None:
+        """Record algorithm-specific map-side work for one kept feature.
+
+        The base jobs do none (their composite keys are free to build);
+        eSPQsco overrides this -- its map phase computes the Jaccard score
+        ``w(f, q)`` once for the shipped value and once per emitted copy's
+        key, which the cost model charges as map-side work units.
+        """
 
     # -------------------------------------------------------------- #
     # routing: partition and group on the cell id only
@@ -336,6 +348,12 @@ class ESPQScoJob(_SPQJobBase):
     def _feature_value(self, feature: FeatureObject) -> Any:
         # Carry the map-side score so the reducer does not recompute it.
         return (feature, non_spatial_score(feature.keywords, self.query.keywords))
+
+    def _count_map_feature_work(self, copies: int, counters: Counters) -> None:
+        # One score for the value plus one per emitted copy's composite key.
+        counters.increment(
+            counter_names.GROUP_MAP, counter_names.MAP_SCORE_COMPUTATIONS, copies + 1
+        )
 
     def sort_key(self, key: Tuple) -> Tuple:
         # Descending order of the secondary component: data objects (2.0)

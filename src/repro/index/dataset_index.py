@@ -26,9 +26,11 @@ emission order) -- so batch results equal sequential results exactly.
 
 from __future__ import annotations
 
+import math
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.index.records import PreAssignedData, PreAssignedFeature
 from repro.mapreduce.job import MapReduceJob
@@ -106,6 +108,20 @@ class DatasetIndex:
             PreAssignedData(obj, cell_id)
             for obj, cell_id in zip(self._data_objects, data_cells)
         ]
+        #: cell id -> number of data objects homed there (planner statistic).
+        self._data_cell_counts: Dict[int, int] = dict(Counter(data_cells))
+        #: storage position -> home cell of every feature (radius-independent;
+        #: the planner distributes estimated feature copies over these cells).
+        locate = grid.locate
+        self._feature_homes: List[int] = [
+            locate(feature.x, feature.y) for feature in self._feature_objects
+        ]
+        #: total text-serialized size of all features, matching the jobs'
+        #: ``estimated_record_size`` formula (24 bytes + keyword lengths).
+        self._total_feature_bytes = sum(
+            24 + sum(len(word) + 1 for word in feature.keywords)
+            for feature in self._feature_objects
+        )
         self._inverted = PositionalInvertedIndex(self._feature_objects)
         #: radius -> {feature position -> duplication cell tuple}, filled
         #: lazily for the features queries actually touch.
@@ -148,6 +164,53 @@ class DatasetIndex:
     def data_cell_of(self, position: int) -> int:
         """Precomputed cell id of the data object at ``position``."""
         return self._data_records[position].cell_id
+
+    # ------------------------------------------------------------------ #
+    # planner statistics (all cheap: precomputed at build or O(candidates))
+
+    @property
+    def data_cell_counts(self) -> Mapping[int, int]:
+        """Cell id -> number of data objects homed there (do not mutate)."""
+        return self._data_cell_counts
+
+    @property
+    def average_feature_bytes(self) -> float:
+        """Mean text-serialized size of one feature record."""
+        if not self._feature_objects:
+            return 24.0
+        return self._total_feature_bytes / len(self._feature_objects)
+
+    def feature_home_of(self, position: int) -> int:
+        """Precomputed home cell of the feature at ``position``."""
+        return self._feature_homes[position]
+
+    def candidate_cell_counts(self, positions: Iterable[int]) -> Dict[int, int]:
+        """Home-cell histogram of the given candidate feature positions."""
+        homes = self._feature_homes
+        return dict(Counter(homes[position] for position in positions))
+
+    def keyword_document_frequency(self, keyword: str) -> int:
+        """Number of features containing ``keyword`` (inverted-index lookup)."""
+        return self._inverted.document_frequency(keyword)
+
+    def duplication_estimate(self, radius: float) -> float:
+        """Expected grid cells (home included) one feature reaches at ``radius``.
+
+        When Lemma-1 lists for this radius are already cached (even
+        partially, from earlier queries), their observed mean is returned --
+        the best available evidence.  Otherwise the geometric expectation is
+        used: the cells with ``MINDIST <= r`` of a point are exactly the
+        cells intersecting its closed ``r``-disk, and for a uniformly placed
+        point their expected number is the Minkowski sum area of one cell and
+        the disk divided by the cell area, clamped to the grid size.
+        """
+        cached = self._feature_cells.get(radius)
+        if cached:
+            return sum(len(cells) for cells in cached.values()) / len(cached)
+        width, height = self.grid.cell_width, self.grid.cell_height
+        area = width * height
+        expanded = area + 2.0 * radius * (width + height) + math.pi * radius * radius
+        return min(float(self.grid.num_cells), expanded / area)
 
     # ------------------------------------------------------------------ #
     # per-radius duplication cache
@@ -213,9 +276,19 @@ class DatasetIndex:
         """Storage positions of features relevant to the query keywords."""
         return self._inverted.candidate_positions(keywords)
 
-    def prepare(self, query: SpatialPreferenceQuery) -> PreparedQuery:
-        """Build the pre-partitioned feature record stream for one query."""
-        candidates = self.candidate_positions(query.keywords)
+    def prepare(
+        self,
+        query: SpatialPreferenceQuery,
+        candidates: Optional[List[int]] = None,
+    ) -> PreparedQuery:
+        """Build the pre-partitioned feature record stream for one query.
+
+        ``candidates`` lets a caller that already computed
+        :meth:`candidate_positions` for this query (the cost-based planner
+        does) pass the positions in instead of recomputing the union.
+        """
+        if candidates is None:
+            candidates = self.candidate_positions(query.keywords)
         already = self._feature_cells.get(query.radius)
         radius_cache_hit = already is not None and all(
             position in already for position in candidates

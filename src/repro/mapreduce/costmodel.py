@@ -25,7 +25,7 @@ come from the measured counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.mapreduce.cluster import SimulatedCluster, paper_cluster
 from repro.mapreduce import counters as counter_names
@@ -54,6 +54,9 @@ class CostParameters:
     map_record: float = 1.0e-5
     #: Cost of serializing + emitting one map output record.
     map_emit: float = 5.0e-6
+    #: Cost of one map-side algorithm work unit (eSPQsco's per-feature
+    #: Jaccard computations; the other jobs report none).
+    map_work_unit: float = 2.0e-4
     #: Network cost per shuffled byte (aggregate cluster bandwidth).
     shuffle_byte: float = 2.0e-7
     #: Cost of ingesting (merge/deserialize) one record in a reduce task.
@@ -88,7 +91,13 @@ class CostBreakdown:
 
 
 class CostModel:
-    """Computes simulated job execution time for a :class:`JobResult`."""
+    """Computes simulated job execution time for a :class:`JobResult`.
+
+    The phase formulas are factored into :meth:`compose` /
+    :meth:`reduce_task_cost` so that callers holding *predicted* quantities
+    (the a-priori query planner) price them through exactly the same model
+    as a finished job's measured counters.
+    """
 
     def __init__(
         self,
@@ -98,30 +107,36 @@ class CostModel:
         self.cluster = cluster or paper_cluster()
         self.parameters = parameters or CostParameters()
 
-    def estimate(self, result: JobResult) -> CostBreakdown:
-        """Break down the simulated execution time of a finished job."""
+    def reduce_task_cost(self, input_records: float, work_units: float) -> float:
+        """Cost of one reduce task from its record and work-unit counts."""
         params = self.parameters
-        counters = result.counters
+        return (
+            params.reduce_task_overhead
+            + input_records * params.reduce_ingest
+            + work_units * params.reduce_work_unit
+        )
 
-        map_inputs = counters.get(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS)
-        map_outputs = counters.get(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
-        shuffle_bytes = counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_BYTES)
-
+    def compose(
+        self,
+        map_inputs: float,
+        map_outputs: float,
+        num_map_tasks: int,
+        shuffle_bytes: float,
+        reduce_costs: "Sequence[float]",
+        map_work_units: float = 0.0,
+    ) -> CostBreakdown:
+        """Price phase quantities -- measured or predicted -- into a breakdown."""
+        params = self.parameters
         # Map work is spread over all cluster slots (map tasks are plentiful
         # and uniform, so a simple division captures the parallelism).
-        map_cost = map_inputs * params.map_record + map_outputs * params.map_emit
-        map_time = map_cost / self.cluster.total_slots * self._map_wave_penalty(result)
-
+        map_cost = (
+            map_inputs * params.map_record
+            + map_outputs * params.map_emit
+            + map_work_units * params.map_work_unit
+        )
+        map_time = map_cost / self.cluster.total_slots * self._map_wave_penalty(num_map_tasks)
         shuffle_time = shuffle_bytes * params.shuffle_byte
-
-        reduce_costs = [
-            params.reduce_task_overhead
-            + report.input_records * params.reduce_ingest
-            + report.work_units() * params.reduce_work_unit
-            for report in result.reduce_reports
-        ]
         reduce_time, _ = self.cluster.schedule(reduce_costs)
-
         return CostBreakdown(
             startup=params.job_startup,
             map=map_time,
@@ -129,18 +144,38 @@ class CostModel:
             reduce=reduce_time,
         )
 
+    def estimate(self, result: JobResult) -> CostBreakdown:
+        """Break down the simulated execution time of a finished job."""
+        counters = result.counters
+        map_inputs = counters.get(counter_names.GROUP_MAP, counter_names.MAP_INPUT_RECORDS)
+        map_outputs = counters.get(counter_names.GROUP_MAP, counter_names.MAP_OUTPUT_RECORDS)
+        map_work = counters.get(counter_names.GROUP_MAP, counter_names.MAP_SCORE_COMPUTATIONS)
+        shuffle_bytes = counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_BYTES)
+        reduce_costs = [
+            self.reduce_task_cost(report.input_records, report.work_units())
+            for report in result.reduce_reports
+        ]
+        return self.compose(
+            map_inputs,
+            map_outputs,
+            result.num_map_tasks,
+            shuffle_bytes,
+            reduce_costs,
+            map_work_units=map_work,
+        )
+
     def simulated_seconds(self, result: JobResult) -> float:
         """Total simulated job execution time in seconds."""
         return self.estimate(result).total
 
-    def _map_wave_penalty(self, result: JobResult) -> float:
+    def _map_wave_penalty(self, num_map_tasks: int) -> float:
         """Correction for partially filled final map waves.
 
         With very few map tasks the cluster cannot use all its slots; the
         penalty scales the idealised all-slots-busy time accordingly.
         """
         slots = self.cluster.total_slots
-        tasks = max(result.num_map_tasks, 1)
+        tasks = max(num_map_tasks, 1)
         if tasks >= slots:
             return 1.0
         return slots / tasks

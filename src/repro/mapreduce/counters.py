@@ -65,6 +65,9 @@ GROUP_REDUCE = "reduce"
 
 MAP_INPUT_RECORDS = "input_records"
 MAP_OUTPUT_RECORDS = "output_records"
+#: Map-side algorithm work (e.g. eSPQsco's per-feature score computations);
+#: kept in the "map" group so reduce-task work accounting is unaffected.
+MAP_SCORE_COMPUTATIONS = "score_computations"
 SHUFFLE_RECORDS = "records"
 SHUFFLE_BYTES = "bytes"
 REDUCE_INPUT_GROUPS = "input_groups"

@@ -44,11 +44,16 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 
 __all__ = [
+    "DEFAULT_SPLIT_SIZE",
     "JobResult",
     "LocalJobRunner",
     "PreloadedShuffle",
     "ReduceTaskReport",
 ]
+
+#: Input records per map task when the caller does not configure one; also
+#: what the query planner's estimator assumes when predicting map waves.
+DEFAULT_SPLIT_SIZE = 10_000
 
 
 @dataclass
@@ -141,7 +146,7 @@ class LocalJobRunner:
     def __init__(
         self,
         num_reducers: int,
-        split_size: int = 10_000,
+        split_size: int = DEFAULT_SPLIT_SIZE,
         max_workers: int = 1,
         backend: Optional[ExecutionBackend] = None,
     ) -> None:

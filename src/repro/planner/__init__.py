@@ -1,0 +1,46 @@
+"""Cost-based adaptive query planner (``algorithm="auto"``).
+
+See :mod:`repro.planner.core` for the full story: an a-priori cost
+estimator over :class:`~repro.index.dataset_index.DatasetIndex` statistics
+(:mod:`repro.planner.estimator`) plus a bounded-memory calibration loop
+(:mod:`repro.planner.calibration`), owned by each
+:class:`~repro.core.engine.SPQEngine` and exposed through
+``algorithm="auto"`` at every layer (engine, batch API, CLI).
+"""
+
+from repro.planner.calibration import Calibrator, signature_of
+from repro.planner.core import (
+    AUTO_ALGORITHM,
+    ENV_PLANNER,
+    PLANNER_MODES,
+    PlannerConfig,
+    PlannerDecision,
+    QueryPlanner,
+    resolve_planner_mode,
+)
+from repro.planner.estimator import (
+    DEFAULT_WORK_FACTORS,
+    PLANNED_ALGORITHMS,
+    CostEstimator,
+    QueryStatistics,
+    WorkFactors,
+    collect_statistics,
+)
+
+__all__ = [
+    "AUTO_ALGORITHM",
+    "Calibrator",
+    "CostEstimator",
+    "DEFAULT_WORK_FACTORS",
+    "ENV_PLANNER",
+    "PLANNED_ALGORITHMS",
+    "PLANNER_MODES",
+    "PlannerConfig",
+    "PlannerDecision",
+    "QueryPlanner",
+    "QueryStatistics",
+    "WorkFactors",
+    "collect_statistics",
+    "resolve_planner_mode",
+    "signature_of",
+]

@@ -191,6 +191,131 @@ class TestBatchCommand:
         assert "unknown algorithm" in capsys.readouterr().err
 
 
+class TestAutoAlgorithmFlags:
+    """The planner surface: --algorithm auto, --explain, batch overrides."""
+
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "400",
+              "--output", str(output)])
+        return output
+
+    def test_query_auto_runs_and_reports_planned_algorithm(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001,w0002",
+            "--k", "3", "--grid-size", "6", "--algorithm", "auto", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm=auto" in out
+        assert "planned algorithm:" in out
+
+    def test_query_explain_output_shape(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001,w0002",
+            "--k", "3", "--grid-size", "6", "--algorithm", "auto", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Planner decision (cold start):" in out
+        for algorithm in ("pspq", "espq-len", "espq-sco"):
+            assert f"{algorithm:<10} estimated" in out
+        assert out.count("<== chosen") == 1
+
+    def test_explain_rejected_with_fixed_algorithm(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001",
+            "--algorithm", "espq-sco", "--explain",
+        ])
+        assert code == 2
+        assert "--algorithm auto" in capsys.readouterr().err
+
+    def test_auto_rejected_when_planner_disabled(self, dataset_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER", "off")
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001",
+            "--grid-size", "6", "--algorithm", "auto",
+        ])
+        assert code == 2
+        assert "disabled" in capsys.readouterr().err
+
+    def test_auto_result_matches_chosen_fixed_algorithm(self, dataset_file, capsys):
+        code = main([
+            "query", "--input", str(dataset_file), "--keywords", "w0001,w0002",
+            "--k", "4", "--radius", "6.0", "--grid-size", "6",
+            "--algorithm", "auto", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        chosen = next(
+            line.split(":")[1].strip()
+            for line in out.splitlines()
+            if "planned algorithm:" in line
+        )
+        data, features = load_dataset(dataset_file)
+        engine = SPQEngine(data, features)
+        query = SpatialPreferenceQuery.create(
+            k=4, radius=6.0, keywords={"w0001", "w0002"}
+        )
+        expected = engine.execute(query, algorithm=chosen, grid_size=6)
+        for rank, entry in enumerate(expected, start=1):
+            assert f"{rank:>3}. {entry.obj.oid:<16}" in out
+
+    def test_batch_default_auto(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "q.jsonl"
+        query_file.write_text(
+            '{"keywords": ["w0001"], "k": 3, "radius": 5.0}\n'
+            '{"keywords": ["w0002"], "k": 3, "radius": 5.0, "algorithm": "pspq"}\n'
+        )
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--algorithm", "auto", "--output", "-", "--stats",
+        ])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines[0]["algorithm"] == "auto"
+        assert lines[0]["planned_algorithm"] in ("pspq", "espq-len", "espq-sco")
+        assert set(lines[0]["stats"]["planner_estimates"]) == {
+            "pspq", "espq-len", "espq-sco",
+        }
+        # The fixed-algorithm line is not planned.
+        assert lines[1]["algorithm"] == "pspq"
+        assert "planned_algorithm" not in lines[1]
+
+    def test_batch_per_line_auto_override(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "q.jsonl"
+        query_file.write_text(
+            '{"keywords": ["w0001"], "k": 2, "radius": 4.0, "algorithm": "auto"}\n'
+            '{"keywords": ["w0003"], "k": 2, "radius": 4.0}\n'
+        )
+        code = main([
+            "batch", "--input", str(dataset_file), "--queries", str(query_file),
+            "--grid-size", "6", "--output", "-",
+        ])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines[0]["algorithm"] == "auto"
+        assert lines[0]["planned_algorithm"] in ("pspq", "espq-len", "espq-sco")
+        assert lines[1]["algorithm"] == "espq-sco"
+        assert "planned_algorithm" not in lines[1]
+
+    def test_parser_accepts_auto_choice(self):
+        args = build_parser().parse_args(
+            ["query", "--input", "x", "--keywords", "a", "--algorithm", "auto"]
+        )
+        assert args.algorithm == "auto"
+        assert args.explain is False
+
+
 class TestBackendFlags:
     @pytest.fixture()
     def dataset_file(self, tmp_path):

@@ -1,0 +1,232 @@
+"""Differential fuzzing: every execution strategy must agree with the oracle.
+
+Seeded random datasets (uniform + clustered) crossed with seeded random
+queries -- k, radius, keyword sets including zero-match and
+everywhere-matching ("stop-word-only") extremes -- asserting that
+
+* the three MapReduce algorithms (pSPQ, eSPQlen, eSPQsco) and the adaptive
+  planner (``auto``) reproduce the centralized oracle's positively scored
+  prefix: identical score sequences, every reported object's score exactly
+  its ground-truth ``tau(p)``, and identical object ids whenever score ties
+  leave the top-k composition well-defined (with ties, any maximal set of
+  tied objects is a correct answer -- eSPQsco's Lemma 3 reports the first
+  ``k`` found per cell, the oracle breaks ties by object id);
+* ``execute_many`` is bit-for-bit identical (ids *and* scores, ties
+  included) to per-query ``execute`` for every algorithm; and
+* the true multiprocess backend is bit-for-bit identical to serial for a
+  seeded subsample (kept small to bound runtime).
+
+This is the regression net under every layer the engine grew (index-backed
+batches, pluggable backends, the cost-based planner): any divergence in
+shuffle ordering, early termination or result merging shows up here as a
+concrete (dataset seed, query) counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.engine import EngineConfig, SPQEngine
+from repro.core.scoring import compute_score
+from repro.datagen.synthetic import (
+    SyntheticDatasetConfig,
+    generate_clustered,
+    generate_uniform,
+)
+from repro.model.query import SpatialPreferenceQuery
+
+MR_ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+
+#: (generator, dataset seed) pairs fuzzed below.
+DATASETS = (
+    ("uniform", 9001),
+    ("uniform", 9002),
+    ("clustered", 9101),
+    ("clustered", 9102),
+)
+
+QUERIES_PER_DATASET = 6
+
+
+def build_dataset(kind: str, seed: int):
+    config = SyntheticDatasetConfig(
+        num_objects=360,
+        seed=seed,
+        min_keywords=2,
+        max_keywords=12,
+        vocabulary_size=80,
+    )
+    generator = generate_uniform if kind == "uniform" else generate_clustered
+    data, features = generator(config)
+    # A "stop word" present in every feature: queries containing it match
+    # the whole feature set, the opposite extreme of zero-match keywords.
+    features = [
+        type(feature)(
+            oid=feature.oid,
+            x=feature.x,
+            y=feature.y,
+            keywords=frozenset(feature.keywords | {"stop"}),
+        )
+        for feature in features
+    ]
+    return data, features
+
+
+def build_queries(seed: int) -> List[SpatialPreferenceQuery]:
+    """Seeded random queries spanning the parameter extremes."""
+    rng = random.Random(seed)
+    queries: List[SpatialPreferenceQuery] = []
+    for index in range(QUERIES_PER_DATASET):
+        k = rng.choice((1, 3, 10, 40))
+        radius = rng.choice((0.0, 0.8, 4.0, 15.0, 70.0, 250.0))
+        if index == 0:
+            keywords = {"zz-nothing-matches"}      # zero-match
+        elif index == 1:
+            keywords = {"stop"}                    # matches every feature
+        else:
+            count = rng.choice((1, 2, 4, 7))
+            keywords = {f"w{rng.randrange(80):04d}" for _ in range(count)}
+            if rng.random() < 0.3:
+                keywords.add("stop")
+            if rng.random() < 0.2:
+                keywords.add("zz-never")
+        queries.append(
+            SpatialPreferenceQuery.create(k=k, radius=radius, keywords=keywords)
+        )
+    return queries
+
+
+def fingerprint(result) -> Tuple[Tuple[str, float], ...]:
+    return tuple(zip(result.object_ids(), result.scores()))
+
+
+def oracle_scores(data, features, query) -> Dict[str, float]:
+    """Ground-truth ``tau(p)`` of every data object (exhaustive)."""
+    return {
+        obj.oid: compute_score(obj, features, query, "range") for obj in data
+    }
+
+
+def expected_prefix(truth: Dict[str, float], k: int) -> List[Tuple[str, float]]:
+    """The oracle's positively scored top-k: (score desc, oid asc)."""
+    ranked = sorted(
+        ((oid, score) for oid, score in truth.items() if score > 0.0),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return ranked[:k]
+
+
+def assert_matches_oracle(result, truth: Dict[str, float], k: int, label: str) -> None:
+    """The oracle-equivalence contract (see module docstring)."""
+    actual = fingerprint(result)
+    expected = expected_prefix(truth, k)
+    assert [score for _, score in actual] == pytest.approx(
+        [score for _, score in expected]
+    ), f"score sequence diverged: {label}"
+    for oid, score in actual:
+        assert score == pytest.approx(truth[oid]), (
+            f"reported score is not the ground-truth tau({oid}): {label}"
+        )
+    # With all reported scores distinct and the k-th score unambiguous, the
+    # top-k composition is unique, so the object ids must match exactly.
+    scores = [score for _, score in expected]
+    boundary_tied = len(expected) == k and any(
+        score == pytest.approx(scores[-1]) and oid not in dict(expected)
+        for oid, score in truth.items()
+        if score > 0.0
+    )
+    if len(set(scores)) == len(scores) and not boundary_tied:
+        assert [oid for oid, _ in actual] == [oid for oid, _ in expected], (
+            f"object ids diverged without ties: {label}"
+        )
+
+
+def case_label(kind: str, seed: int, query: SpatialPreferenceQuery) -> str:
+    return (
+        f"{kind}/seed={seed} k={query.k} r={query.radius} "
+        f"W={sorted(query.keywords)}"
+    )
+
+
+@pytest.mark.parametrize("kind,seed", DATASETS, ids=[f"{k}-{s}" for k, s in DATASETS])
+class TestSerialDifferentialFuzz:
+    """All strategies vs the exhaustive oracle on the serial backend."""
+
+    @pytest.fixture()
+    def setup(self, kind, seed):
+        data, features = build_dataset(kind, seed)
+        queries = build_queries(seed + 1)
+        engine = SPQEngine(data, features)
+        return data, features, queries, engine
+
+    def test_all_algorithms_match_oracle(self, setup, kind, seed):
+        data, features, queries, engine = setup
+        for grid_size, query in zip((4, 7, 12, 4, 7, 12), queries):
+            truth = oracle_scores(data, features, query)
+            label = case_label(kind, seed, query)
+            for algorithm in MR_ALGORITHMS:
+                result = engine.execute(query, algorithm=algorithm, grid_size=grid_size)
+                assert_matches_oracle(
+                    result, truth, query.k, f"{algorithm} on {label} (grid {grid_size})"
+                )
+
+    def test_execute_many_matches_sequential(self, setup, kind, seed):
+        data, features, queries, engine = setup
+        for algorithm in MR_ALGORITHMS:
+            sequential = [
+                fingerprint(engine.execute(query, algorithm=algorithm, grid_size=6))
+                for query in queries
+            ]
+            batched = [
+                fingerprint(result)
+                for result in engine.execute_many(queries, algorithm=algorithm, grid_size=6)
+            ]
+            assert batched == sequential, f"{algorithm} batch != sequential ({kind}/{seed})"
+
+    def test_auto_matches_oracle(self, setup, kind, seed):
+        data, features, queries, engine = setup
+        for query in queries:
+            truth = oracle_scores(data, features, query)
+            result = engine.execute(query, algorithm="auto", grid_size=6)
+            assert_matches_oracle(
+                result,
+                truth,
+                query.k,
+                f"auto ({result.stats['planned_algorithm']}) on "
+                f"{case_label(kind, seed, query)}",
+            )
+            # Bit-for-bit against an explicit run of the chosen algorithm:
+            # planning must never change the answer, ties included.
+            chosen = result.stats["planned_algorithm"]
+            explicit = engine.execute_many([query], algorithm=chosen, grid_size=6)[0]
+            assert fingerprint(result) == fingerprint(explicit)
+
+
+class TestProcessBackendDifferentialFuzz:
+    """A seeded subsample re-run on the true multiprocess backend."""
+
+    @pytest.mark.parametrize("kind,seed", (("uniform", 9001), ("clustered", 9101)))
+    def test_process_backend_matches_serial(self, kind, seed):
+        data, features = build_dataset(kind, seed)
+        queries = build_queries(seed + 1)[:3]
+        serial_engine = SPQEngine(data, features)
+        reference = {
+            algorithm: [
+                fingerprint(result)
+                for result in serial_engine.execute_many(
+                    queries, algorithm=algorithm, grid_size=5
+                )
+            ]
+            for algorithm in MR_ALGORITHMS
+        }
+        config = EngineConfig(backend="process", workers=2)
+        with SPQEngine(data, features, config=config) as engine:
+            for algorithm in MR_ALGORITHMS:
+                results = engine.execute_many(queries, algorithm=algorithm, grid_size=5)
+                assert [fingerprint(r) for r in results] == reference[algorithm], (
+                    f"{algorithm} differs between process and serial backends "
+                    f"({kind}/{seed})"
+                )
