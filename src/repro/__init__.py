@@ -28,8 +28,22 @@ from repro.model import (
     SpatialPreferenceQuery,
     TopKList,
 )
+__version__ = "1.4.0"
 
-__version__ = "1.3.0"
+#: Lazily exported names (PEP 562): the query service pulls in the whole
+#: HTTP server stack, which `repro generate`, plain engine use, and every
+#: process-backend worker spawn should not pay for.
+_LAZY_EXPORTS = {"QueryService": "repro.server", "ServiceConfig": "repro.server"}
+
+
+def __getattr__(name: str):
+    """Resolve lazy exports (``repro.QueryService`` / ``repro.ServiceConfig``)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "SPQEngine",
@@ -47,6 +61,8 @@ __all__ = [
     "IndexCache",
     "DataObject",
     "FeatureObject",
+    "QueryService",
+    "ServiceConfig",
     "SpatialPreferenceQuery",
     "ScoredObject",
     "TopKList",

@@ -100,6 +100,7 @@ class SweepResult:
         ]
 
     def algorithms(self) -> List[str]:
+        """Algorithm names present in this sweep, in first-seen order."""
         seen: List[str] = []
         for point in self.points:
             if point.algorithm not in seen:
@@ -107,6 +108,7 @@ class SweepResult:
         return seen
 
     def values(self) -> List[object]:
+        """Distinct x-axis parameter values, in first-seen order."""
         seen: List[object] = []
         for point in self.points:
             if point.parameter_value not in seen:

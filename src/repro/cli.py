@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the full workflow a downstream user needs:
+Six subcommands cover the full workflow a downstream user needs:
 
 * ``generate``    -- create a dataset file (UN / CL / FL-like / TW-like).
 * ``query``       -- run a spatial preference query over a dataset file with
   any of the algorithms and print the top-k plus execution statistics.
 * ``batch``       -- run many queries from a JSONL file through the batch
   engine (shared index builds) and emit one JSON result line per query.
+* ``serve``       -- run the persistent HTTP query service: warm engine
+  pool, micro-batching, result cache, durable planner calibration.
 * ``analyze``     -- print the Section 6 analytical tables (duplication factor
   and cell-size cost) for given parameters.
 * ``experiments`` -- regenerate the figure series (same engine as
@@ -18,6 +20,8 @@ Examples::
     python -m repro query --input un.tsv --keywords w0001,w0002 --k 10 \
         --radius-fraction 0.1 --grid-size 20 --algorithm espq-sco
     python -m repro batch --input un.tsv --queries queries.jsonl --output -
+    python -m repro serve --input un.tsv --port 8787 \
+        --calibration-path calibration.json
     python -m repro analyze duplication --cell-side 10 --radius 2
     python -m repro experiments --figure 7 --objects 4000
 """
@@ -26,7 +30,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from typing import List, Optional, Sequence
 
 from repro import __version__
@@ -351,6 +357,110 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# serve
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import QueryService, ServiceConfig, make_server
+
+    data, features = load_dataset(args.input)
+    if not data:
+        print("error: dataset contains no data objects", file=sys.stderr)
+        return 2
+    try:
+        engine_config = _engine_config(args, grid_size=args.grid_size)
+        service_config = ServiceConfig(
+            engines=args.engines,
+            max_batch=args.max_batch,
+            batch_window_seconds=args.batch_window_ms / 1000.0,
+            result_cache_capacity=args.result_cache,
+            calibration_path=args.calibration_path,
+            checkpoint_interval_seconds=args.checkpoint_interval,
+            default_k=args.k,
+            default_radius=args.radius,
+            default_radius_fraction=args.radius_fraction,
+            default_algorithm=args.algorithm,
+            default_grid_size=args.grid_size,
+        )
+        service = QueryService(
+            data, features, engine_config=engine_config, config=service_config
+        )
+    except (ValueError, InvalidQueryError, JobConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = make_server(
+            service, args.host, args.port, quiet=not args.access_log
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.calibration_path and service.planner is None:
+        print(
+            "warning: --calibration-path is ignored because the planner is "
+            "disabled (planner_mode / $REPRO_PLANNER is 'off'); calibration "
+            "will be neither restored nor saved",
+            file=sys.stderr,
+        )
+    service.start()
+    stats = service.stats()
+    persistence = stats["planner"].get("persistence") if args.calibration_path else None
+    if persistence and persistence["rejected"]:
+        print(
+            f"warning: calibration snapshot rejected, starting cold: "
+            f"{persistence['rejected']}",
+            file=sys.stderr,
+        )
+    elif persistence and persistence["restored"]:
+        print(
+            f"calibration restored from {args.calibration_path} "
+            f"({stats['planner']['calibration']['observations']} observations)"
+        )
+    print(
+        f"repro serve: listening on http://{args.host}:{server.port}  "
+        f"({len(data)} data objects, {len(features)} feature objects, "
+        f"{args.engines} engines)"
+    )
+    print("endpoints: POST /query  POST /batch  GET /healthz  GET /stats")
+    sys.stdout.flush()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        # serve_forever must return before we can join anything; shutdown()
+        # blocks until it does, so run it off the signal-handler frame.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    try:
+        # SIGTERM (and SIGINT, which background shells mask) both trigger
+        # the same clean shutdown: drain, save calibration, close engines.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+    except ValueError:  # pragma: no cover - not in the main thread
+        pass
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down", file=sys.stderr)
+        server.server_close()
+        service.shutdown()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    if args.calibration_path and service.planner is not None:
+        save_error = service.stats()["planner"]["persistence"]["last_error"]
+        if save_error:
+            print(
+                f"warning: calibration could not be saved: {save_error}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"calibration saved to {args.calibration_path}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # analyze
 
 
@@ -401,6 +511,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser covering every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spatial preference queries using keywords (EDBT 2017 reproduction)",
@@ -462,6 +573,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach per-query stats and print cache summary")
     _add_backend_arguments(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the persistent HTTP query service over a dataset file"
+    )
+    serve.add_argument("--input", required=True, help="dataset file (TSV)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (0 binds an ephemeral port, printed on start)")
+    serve.add_argument("--engines", type=int, default=2,
+                       help="warm engine-pool size = micro-batch dispatcher threads")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="largest micro-batch per execute_many call")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="how long a dispatcher waits for batchmates "
+                            "(0 = natural batching: group only what is queued)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="result-cache entries, LRU (0 disables the cache)")
+    serve.add_argument("--calibration-path", default=None,
+                       help="durable planner-calibration snapshot: restored on "
+                            "start, checkpointed while serving, saved on shutdown")
+    serve.add_argument("--checkpoint-interval", type=float, default=60.0,
+                       help="calibration checkpoint cadence in seconds "
+                            "(0 = save only on shutdown)")
+    serve.add_argument("--k", type=int, default=10, help="default k for requests")
+    serve.add_argument("--radius", type=float, default=None,
+                       help="default absolute radius (overrides --radius-fraction)")
+    serve.add_argument("--radius-fraction", type=float, default=0.10,
+                       help="default radius as a fraction of the grid-cell side")
+    serve.add_argument("--grid-size", type=int, default=50)
+    serve.add_argument("--algorithm", choices=ALGORITHM_CHOICES, default="espq-sco",
+                       help="default algorithm for requests ('auto' engages the "
+                            "cost-based planner per query)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="log one line per HTTP request to stderr")
+    _add_backend_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")
     analyze.add_argument("what", choices=("duplication", "cell-size"))

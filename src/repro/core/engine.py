@@ -28,13 +28,18 @@ identical to sequential :meth:`SPQEngine.execute` calls::
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.centralized import CentralizedSPQ, dataset_extent
 from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob, _SPQJobBase
-from repro.exceptions import InvalidQueryError, ResultIntegrityError
+from repro.exceptions import (
+    InvalidQueryError,
+    JobConfigurationError,
+    ResultIntegrityError,
+)
 from repro.execution import ExecutionBackend, create_backend
 from repro.index.cache import IndexCache
 from repro.index.dataset_index import DatasetIndex
@@ -133,18 +138,45 @@ class SPQEngine:
         feature_objects: Sequence[FeatureObject],
         config: Optional[EngineConfig] = None,
         extent: Optional[BoundingBox] = None,
+        index_cache: Optional[IndexCache] = None,
+        planner: Optional[QueryPlanner] = None,
     ) -> None:
+        """Wire an engine over in-memory datasets.
+
+        Args:
+            data_objects: The object dataset ``O``.
+            feature_objects: The feature dataset ``F``.
+            config: Engine knobs (defaults to :class:`EngineConfig`).
+            extent: Explicit dataset bounding box; computed lazily otherwise.
+            index_cache: A (possibly shared) :class:`IndexCache`.  The query
+                service passes one cache to every engine of its pool so an
+                index built for any of them serves all of them; engines
+                sharing a cache must hold the same dataset snapshot.
+            planner: A (possibly shared) :class:`QueryPlanner`.  Shared the
+                same way, so every pooled engine's executed queries feed one
+                calibration state.
+        """
         self.data_objects = list(data_objects)
         self.feature_objects = list(feature_objects)
         self.config = config or EngineConfig()
         self._extent = extent
         self._explicit_extent = extent is not None
         self._dataset_version = 0
-        self._index_cache = IndexCache(capacity=self.config.index_cache_capacity)
+        self._index_cache = (
+            index_cache
+            if index_cache is not None
+            else IndexCache(capacity=self.config.index_cache_capacity)
+        )
         self._oid_index: Optional[Dict[str, DataObject]] = None
         self._oid_index_source: Optional[List[DataObject]] = None
         self._backend: Optional[ExecutionBackend] = None
-        self._planner: Optional[QueryPlanner] = None
+        self._backend_lock = threading.RLock()
+        #: In-flight query count per backend instance; a backend retired by
+        #: :meth:`close` while queries still run is torn down by the last
+        #: query to finish, never under a running one.
+        self._backend_refs: Dict[int, int] = {}
+        self._retired_backends: Dict[int, ExecutionBackend] = {}
+        self._planner: Optional[QueryPlanner] = planner
         self._planner_mode: Optional[str] = None
         if extent is not None and (extent.width <= 0 or extent.height <= 0):
             raise InvalidQueryError(
@@ -169,24 +201,57 @@ class SPQEngine:
             JobConfigurationError: if the configured backend/worker
                 combination is invalid.
         """
-        if self._backend is None:
-            self._backend = create_backend(
-                self.config.backend,
-                self.config.workers,
-                fallback_thread_workers=self.config.max_workers,
-            )
-        return self._backend
+        with self._backend_lock:
+            if self._backend is None:
+                self._backend = create_backend(
+                    self.config.backend,
+                    self.config.workers,
+                    fallback_thread_workers=self.config.max_workers,
+                )
+            return self._backend
+
+    def _checkout_backend(self) -> ExecutionBackend:
+        """The backend, with this query registered as an in-flight user."""
+        with self._backend_lock:
+            backend = self.backend
+            key = id(backend)
+            self._backend_refs[key] = self._backend_refs.get(key, 0) + 1
+            return backend
+
+    def _checkin_backend(self, backend: ExecutionBackend) -> None:
+        """Unregister an in-flight user; tear down a retired backend last."""
+        key = id(backend)
+        with self._backend_lock:
+            remaining = self._backend_refs.get(key, 1) - 1
+            if remaining > 0:
+                self._backend_refs[key] = remaining
+                return
+            self._backend_refs.pop(key, None)
+            retired = self._retired_backends.pop(key, None)
+        if retired is not None:
+            retired.close()
 
     def close(self) -> None:
-        """Release the backend's worker pool (safe to call repeatedly).
+        """Release the backend's worker pool (idempotent and thread-safe).
 
         The engine remains usable; the next query lazily recreates the
         backend.  Unclosed process pools are reclaimed at garbage
         collection, but long-lived services should close explicitly.
+
+        Repeated calls are no-ops, and concurrent calls (an engine pooled by
+        the query service may be closed by both a dispatcher and the
+        service's shutdown path) release each backend exactly once.  A
+        close racing in-flight queries does not interrupt them: the backend
+        is detached immediately (new queries get a fresh one) and its pool
+        is torn down by the last in-flight query when it finishes.
         """
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
+        with self._backend_lock:
+            backend, self._backend = self._backend, None
+            if backend is not None and self._backend_refs.get(id(backend), 0) > 0:
+                self._retired_backends[id(backend)] = backend
+                backend = None
+        if backend is not None:
+            backend.close()
 
     def __enter__(self) -> "SPQEngine":
         return self
@@ -230,6 +295,74 @@ class SPQEngine:
     def _active_planner(self) -> Optional[QueryPlanner]:
         """The planner when planning/calibration is enabled, else None."""
         return self.planner if self.planner_mode == "on" else None
+
+    def planner_snapshot(self) -> Dict[str, object]:
+        """Durable calibration state of this engine's planner.
+
+        Plain JSON-serializable data; persist it with
+        :func:`repro.planner.persistence.save_calibration` (the query
+        service does so on shutdown and at every checkpoint) and feed it
+        back through :meth:`restore_planner` after a restart.
+
+        Raises:
+            JobConfigurationError: when the planner is disabled.
+        """
+        self._require_planner("snapshot")
+        return self.planner.snapshot_state()
+
+    def restore_planner(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`planner_snapshot` into this engine's planner.
+
+        Raises:
+            JobConfigurationError: when the planner is disabled.
+            CalibrationStateError: if the state fails validation; the
+                planner is left unchanged.
+        """
+        self._require_planner("restore")
+        self.planner.restore_state(state)
+
+    def _require_planner(self, action: str) -> None:
+        if self.planner_mode != "on":
+            raise JobConfigurationError(
+                f"cannot {action} planner calibration: the planner is "
+                "disabled (planner_mode / $REPRO_PLANNER is 'off')"
+            )
+
+    @property
+    def active_backend_name(self) -> Optional[str]:
+        """Name of the live backend (None before first use / after close).
+
+        One-shot snapshot of the reference, so it never races
+        :meth:`close`; cheap enough for per-probe polling.
+        """
+        backend = self._backend
+        return backend.name if backend else None
+
+    def service_stats(self) -> Dict[str, object]:
+        """Aggregate serving statistics of this engine (for ``/stats``).
+
+        Covers the execution backend, dataset snapshot, index cache
+        counters, and -- when the planner is enabled -- the planner's
+        decision count and calibration summary.  Cheap to call; never
+        creates a backend or planner as a side effect.
+        """
+        # One snapshot of the reference: close() may null it concurrently.
+        backend = self._backend
+        stats: Dict[str, object] = {
+            "backend_configured": self.config.backend,
+            "backend_active": self.active_backend_name,
+            "workers": backend.workers if backend else None,
+            "dataset_version": self._dataset_version,
+            "num_data_objects": len(self.data_objects),
+            "num_feature_objects": len(self.feature_objects),
+            "index_cache": self.index_cache_stats,
+        }
+        if self._planner is not None and self.planner_mode == "on":
+            stats["planner"] = {
+                "decisions": self._planner.decisions,
+                "calibration": self._planner.calibrator.snapshot(),
+            }
+        return stats
 
     # ------------------------------------------------------------------ #
 
@@ -328,7 +461,7 @@ class SPQEngine:
                 algorithm / score-mode combination, and for ``"auto"`` when
                 the planner is disabled.
         """
-        self._validate(algorithm, score_mode)
+        self.validate_combination(algorithm, score_mode)
         if algorithm == "centralized":
             return self._execute_centralized(query, score_mode)
         if algorithm == AUTO_ALGORITHM:
@@ -388,7 +521,7 @@ class SPQEngine:
         # here, before any query runs, like the rest of the validation.
         self.planner_mode
         for item in plan:
-            self._validate(item.algorithm, item.score_mode)
+            self.validate_combination(item.algorithm, item.score_mode)
 
         results: List[Optional[QueryResult]] = [None] * len(plan)
         for item in plan:
@@ -398,7 +531,18 @@ class SPQEngine:
     # ------------------------------------------------------------------ #
     # internals
 
-    def _validate(self, algorithm: str, score_mode: str) -> None:
+    def validate_combination(self, algorithm: str, score_mode: str) -> None:
+        """Reject unsupported algorithm / score-mode combinations up front.
+
+        Used internally before any query runs, and by the query service to
+        validate each request at submission time so one bad request cannot
+        fail the micro-batch it would have joined.
+
+        Raises:
+            InvalidQueryError: for an unknown algorithm or score mode, an
+                unsupported combination, or ``"auto"`` with the planner
+                disabled.
+        """
         if algorithm not in ALGORITHM_CHOICES:
             raise InvalidQueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"
@@ -450,7 +594,7 @@ class SPQEngine:
             statistics = planner.collect(index, item.query, item.grid_size)
         algorithm = item.algorithm
         if algorithm == AUTO_ALGORITHM:
-            # _validate rejected "auto" already when the planner is off, so
+            # validate_combination rejected "auto" already when the planner is off, so
             # statistics are guaranteed here.
             decision = planner.decide(statistics)
             algorithm = decision.algorithm
@@ -517,11 +661,14 @@ class SPQEngine:
         index_stats: Optional[Dict[str, object]] = None,
         planner_stats: Optional[Dict[str, object]] = None,
     ) -> QueryResult:
-        backend = self.backend
-        runner = LocalJobRunner(num_reducers=grid.num_cells, backend=backend)
-        started = time.perf_counter()
-        job_result = runner.run(job, records, preloaded=preloaded)
-        elapsed = time.perf_counter() - started
+        backend = self._checkout_backend()
+        try:
+            runner = LocalJobRunner(num_reducers=grid.num_cells, backend=backend)
+            started = time.perf_counter()
+            job_result = runner.run(job, records, preloaded=preloaded)
+            elapsed = time.perf_counter() - started
+        finally:
+            self._checkin_backend(backend)
         if pruned_by_index:
             # Features the index pruned before the map phase ever saw them;
             # folding them into the map-side counter keeps the reported

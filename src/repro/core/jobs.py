@@ -236,6 +236,7 @@ class PSPQJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
+        """Per-cell nested-loop reduce of pSPQ (paper Algorithm 2)."""
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
         examined = 0
@@ -291,6 +292,7 @@ class ESPQLenJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
+        """Length-bound early-terminating reduce of eSPQlen (Algorithm 3)."""
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
         query_len = self.query.keyword_count
@@ -356,6 +358,7 @@ class ESPQScoJob(_SPQJobBase):
         )
 
     def sort_key(self, key: Tuple) -> Tuple:
+        """Secondary sort: data objects first, then descending score."""
         # Descending order of the secondary component: data objects (2.0)
         # first, then features from highest to lowest score.
         return (key[0], -key[1])
@@ -363,6 +366,7 @@ class ESPQScoJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
+        """Report-as-you-go early-terminating reduce of eSPQsco (Algorithm 4)."""
         data_objects: List[DataObject] = []
         reported: List[Tuple[int, str, float]] = []
         reported_ids: set = set()

@@ -45,6 +45,16 @@ class AnalysisError(ReproError):
     """A theoretical-analysis helper received parameters outside its domain."""
 
 
+class CalibrationStateError(ReproError):
+    """A persisted planner-calibration snapshot could not be used.
+
+    Raised when loading a calibration file that is missing, truncated,
+    not valid JSON, carries an unknown format name or version, or whose
+    payload fails structural validation.  Callers that can start cold
+    (the query service does) should catch this and continue without the
+    snapshot rather than refusing to start."""
+
+
 class ResultIntegrityError(ReproError):
     """A job produced output referencing an object unknown to the engine.
 

@@ -121,6 +121,7 @@ class ProcessBackend(ExecutionBackend):
         splits: Sequence[Sequence[Any]],
         num_reducers: int,
     ) -> List[MapTaskResult]:
+        """Run map tasks through the pool (inline for a single split)."""
         if len(splits) <= 1 or self.workers == 1:
             # A single split (or a single worker) gains nothing from IPC.
             return [
@@ -137,6 +138,7 @@ class ProcessBackend(ExecutionBackend):
     def run_reduce_tasks(
         self, job: Any, tasks: Sequence[ReduceTask]
     ) -> List[Tuple[List[Any], ReduceTaskReport]]:
+        """Run reduce tasks through the pool with chunked payloads."""
         if not tasks:
             return []
         if self.workers == 1:
@@ -169,10 +171,11 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Shut the pool down (idempotent; detaches before tearing down)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         pool = getattr(self, "_pool", None)

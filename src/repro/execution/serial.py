@@ -29,6 +29,7 @@ class SerialBackend(ExecutionBackend):
         splits: Sequence[Sequence[Any]],
         num_reducers: int,
     ) -> List[MapTaskResult]:
+        """Run every map task inline, in task-index order."""
         return [
             run_map_task(job, index, split, num_reducers)
             for index, split in enumerate(splits)
@@ -37,6 +38,7 @@ class SerialBackend(ExecutionBackend):
     def run_reduce_tasks(
         self, job: Any, tasks: Sequence[ReduceTask]
     ) -> List[Tuple[List[Any], ReduceTaskReport]]:
+        """Run every reduce task inline, in task-index order."""
         return [
             run_reduce_task(job, task.task_index, task.materialize())
             for task in tasks

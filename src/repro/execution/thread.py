@@ -49,6 +49,7 @@ class ThreadBackend(ExecutionBackend):
         splits: Sequence[Sequence[Any]],
         num_reducers: int,
     ) -> List[MapTaskResult]:
+        """Run map tasks on the thread pool, results in task order."""
         if len(splits) <= 1:
             return [
                 run_map_task(job, index, split, num_reducers)
@@ -64,6 +65,7 @@ class ThreadBackend(ExecutionBackend):
     def run_reduce_tasks(
         self, job: Any, tasks: Sequence[ReduceTask]
     ) -> List[Tuple[List[Any], ReduceTaskReport]]:
+        """Run reduce tasks on the thread pool, results in task order."""
         pool = self._executor()
         futures = [
             pool.submit(self._run_one, job, task) for task in tasks
@@ -75,6 +77,7 @@ class ThreadBackend(ExecutionBackend):
         return run_reduce_task(job, task.task_index, task.materialize())
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the executor down (idempotent; detaches before tearing down)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

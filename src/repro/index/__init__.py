@@ -13,7 +13,7 @@ Public API:
   the pre-partitioned record types the SPQ jobs consume directly.
 """
 
-from repro.index.cache import IndexCache, IndexCacheStats
+from repro.index.cache import CacheStats, IndexCache, IndexCacheStats
 from repro.index.dataset_index import DatasetIndex, IndexBuildStats, PreparedQuery
 from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
 from repro.index.records import PreAssignedData, PreAssignedFeature
@@ -23,6 +23,7 @@ __all__ = [
     "IndexBuildStats",
     "PreparedQuery",
     "IndexCache",
+    "CacheStats",
     "IndexCacheStats",
     "BatchQuery",
     "PlannedQuery",

@@ -6,10 +6,17 @@ an index built over a stale dataset snapshot must never serve a query after
 the datasets changed.  Bumping the version (``SPQEngine.invalidate_indexes``)
 makes every existing key unreachable, and :meth:`IndexCache.invalidate`
 drops the entries themselves.
+
+One cache may be *shared* by several engines over the same datasets (the
+query service hands one cache to its whole engine pool, so an index built
+for any pooled engine serves all of them): all public methods take an
+internal lock, and a build happens under the lock so concurrent requests
+for the same grid size produce exactly one index.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
@@ -18,8 +25,13 @@ from repro.index.dataset_index import DatasetIndex
 
 
 @dataclass
-class IndexCacheStats:
-    """Hit/miss accounting of one :class:`IndexCache`."""
+class CacheStats:
+    """Hit/miss accounting shared by every bounded cache in the system.
+
+    Used by the :class:`IndexCache` here and the result cache of the query
+    service (:mod:`repro.server.cache`), so ``/stats`` consumers see one
+    consistent shape for every cache counter block.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -28,10 +40,12 @@ class IndexCacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for stats reporting."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -39,6 +53,10 @@ class IndexCacheStats:
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
+
+
+#: Backwards-compatible name of the index cache's stats block.
+IndexCacheStats = CacheStats
 
 
 class IndexCache:
@@ -55,30 +73,61 @@ class IndexCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.RLock()
+        #: key -> latch of an in-progress build; waiters block on the latch
+        #: instead of the map lock, so hits on other keys never stall.
+        self._building: Dict[Hashable, threading.Event] = {}
         self._entries: "OrderedDict[Hashable, DatasetIndex]" = OrderedDict()
         self.stats = IndexCacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get_or_build(
         self, key: Hashable, builder: Callable[[], DatasetIndex]
     ) -> "tuple[DatasetIndex, bool]":
-        """Return ``(index, was_hit)``, building and inserting on a miss."""
-        index = self._entries.get(key)
-        if index is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return index, True
-        self.stats.misses += 1
-        index = builder()
-        self._entries[key] = index
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        """Return ``(index, was_hit)``, building and inserting on a miss.
+
+        Builds run *outside* the map lock, coordinated by a per-key latch:
+        of several sharing engines missing on the same key concurrently,
+        exactly one pays the build while the rest wait on that key's latch
+        and then hit -- lookups and builds of other keys proceed
+        unblocked throughout.
+        """
+        while True:
+            with self._lock:
+                index = self._entries.get(key)
+                if index is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return index, True
+                latch = self._building.get(key)
+                if latch is None:
+                    latch = self._building[key] = threading.Event()
+                    break  # this caller owns the build
+            # Another caller is building this key: wait, then re-check (the
+            # loop handles build failure or an immediate eviction).
+            latch.wait()
+        try:
+            index = builder()
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            latch.set()
+            raise
+        with self._lock:
+            self.stats.misses += 1
+            self._entries[key] = index
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._building.pop(key, None)
+        latch.set()
         return index, False
 
     def invalidate(self, key: Optional[Hashable] = None) -> int:
@@ -86,10 +135,11 @@ class IndexCache:
 
         Returns the number of entries removed.
         """
-        if key is None:
-            removed = len(self._entries)
-            self._entries.clear()
-        else:
-            removed = 1 if self._entries.pop(key, None) is not None else 0
-        self.stats.invalidations += removed
-        return removed
+        with self._lock:
+            if key is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                removed = 1 if self._entries.pop(key, None) is not None else 0
+            self.stats.invalidations += removed
+            return removed

@@ -145,10 +145,12 @@ class DatasetIndex:
 
     @property
     def num_data(self) -> int:
+        """Number of data objects indexed."""
         return len(self._data_objects)
 
     @property
     def num_features(self) -> int:
+        """Number of feature objects indexed."""
         return len(self._feature_objects)
 
     @property
@@ -206,7 +208,12 @@ class DatasetIndex:
         """
         cached = self._feature_cells.get(radius)
         if cached:
-            return sum(len(cells) for cells in cached.values()) / len(cached)
+            # Snapshot with one C-level call: another engine sharing this
+            # index may be filling the radius cache concurrently, and
+            # iterating the live dict would race with those inserts.
+            lists = list(cached.values())
+            if lists:
+                return sum(len(cells) for cells in lists) / len(lists)
         width, height = self.grid.cell_width, self.grid.cell_height
         area = width * height
         expanded = area + 2.0 * radius * (width + height) + math.pi * radius * radius

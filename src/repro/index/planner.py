@@ -50,6 +50,7 @@ class PlannedQuery:
 
     @property
     def group_key(self) -> tuple:
+        """Execution grouping key: ``(grid_size, score_mode, algorithm)``."""
         return (self.grid_size, self.score_mode, self.algorithm)
 
 

@@ -78,9 +78,11 @@ class CostBreakdown:
 
     @property
     def total(self) -> float:
+        """Total simulated seconds across all phases."""
         return self.startup + self.map + self.shuffle + self.reduce
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view of the breakdown, including the total."""
         return {
             "startup": self.startup,
             "map": self.map,

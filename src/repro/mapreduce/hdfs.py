@@ -36,10 +36,12 @@ class DataNode:
 
     @property
     def used_blocks(self) -> int:
+        """Number of block replicas currently stored on this node."""
         return len(self.blocks)
 
     @property
     def has_capacity(self) -> bool:
+        """Whether the node can accept another block replica."""
         return self.used_blocks < self.capacity_blocks
 
 
@@ -53,6 +55,7 @@ class Block:
 
     @property
     def num_records(self) -> int:
+        """Number of records in this block."""
         return len(self.records)
 
 
@@ -65,10 +68,12 @@ class HDFSFile:
 
     @property
     def num_records(self) -> int:
+        """Total records across all blocks of the file."""
         return sum(block.num_records for block in self.blocks)
 
     @property
     def num_blocks(self) -> int:
+        """Number of blocks of the file."""
         return len(self.blocks)
 
     def records(self) -> Iterator:

@@ -14,6 +14,7 @@ class Partitioner:
     """Base partitioner: route a key to one of ``num_reducers`` partitions."""
 
     def partition(self, key: Any, num_reducers: int) -> int:
+        """Route ``key`` to a partition in ``[0, num_reducers)``."""
         raise NotImplementedError
 
     def __call__(self, key: Any, num_reducers: int) -> int:
@@ -29,6 +30,7 @@ class HashPartitioner(Partitioner):
     """Hash of the full key modulo the number of reducers (Hadoop default)."""
 
     def partition(self, key: Any, num_reducers: int) -> int:
+        """Hash the full key modulo the reducer count."""
         return hash(key) % num_reducers
 
 
@@ -45,5 +47,6 @@ class FieldPartitioner(Partitioner):
         self.extractor = extractor
 
     def partition(self, key: Any, num_reducers: int) -> int:
+        """Hash the extracted field modulo the reducer count."""
         field = self.extractor(key) if self.extractor is not None else key[self.field_index]
         return hash(field) % num_reducers

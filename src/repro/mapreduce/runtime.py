@@ -119,9 +119,11 @@ class JobResult:
         return self.reduce_reports[task_index]
 
     def total_shuffle_records(self) -> int:
+        """Total records emitted by the map phase across partitions."""
         return self.counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_RECORDS)
 
     def total_shuffle_bytes(self) -> int:
+        """Total serialized bytes shuffled across partitions."""
         return self.counters.get(counter_names.GROUP_SHUFFLE, counter_names.SHUFFLE_BYTES)
 
 

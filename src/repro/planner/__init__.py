@@ -9,6 +9,14 @@ estimator over :class:`~repro.index.dataset_index.DatasetIndex` statistics
 """
 
 from repro.planner.calibration import Calibrator, signature_of
+from repro.planner.persistence import (
+    CALIBRATION_FORMAT,
+    CALIBRATION_VERSION,
+    load_calibration,
+    restore_calibration,
+    save_calibration,
+    try_restore_calibration,
+)
 from repro.planner.core import (
     AUTO_ALGORITHM,
     ENV_PLANNER,
@@ -29,6 +37,8 @@ from repro.planner.estimator import (
 
 __all__ = [
     "AUTO_ALGORITHM",
+    "CALIBRATION_FORMAT",
+    "CALIBRATION_VERSION",
     "Calibrator",
     "CostEstimator",
     "DEFAULT_WORK_FACTORS",
@@ -41,6 +51,10 @@ __all__ = [
     "QueryStatistics",
     "WorkFactors",
     "collect_statistics",
+    "load_calibration",
     "resolve_planner_mode",
+    "restore_calibration",
+    "save_calibration",
     "signature_of",
+    "try_restore_calibration",
 ]

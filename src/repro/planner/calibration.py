@@ -16,15 +16,25 @@ bounded: signature entries live in an LRU of ``memory`` slots (least
 recently *used* is evicted), backed by one global per-algorithm average that
 serves unseen signatures -- the whole structure is a few hundred floats no
 matter how many distinct queries an engine executes.
+
+Calibration is *durable*: :meth:`Calibrator.state_dict` exports the whole
+structure as plain JSON-serializable data and :meth:`Calibrator.restore_state`
+rebuilds it (LRU order preserved), so a long-lived service can checkpoint
+what it learned and start sharp after a restart (see
+:mod:`repro.planner.persistence` for the versioned on-disk format).  All
+public methods are thread-safe: one calibrator may be shared by every engine
+of a service pool.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.exceptions import CalibrationStateError
 from repro.planner.estimator import WorkFactors
 
 #: Signature of one query class: (grid size, radius bucket, |q.W| bucket,
@@ -47,6 +57,7 @@ def count_bucket(count: int) -> int:
 
 def signature_of(grid_size: int, cell_side: float, radius: float,
                  num_keywords: int, k: int) -> Signature:
+    """Bucketed signature of one query class (see :data:`Signature`)."""
     return (
         grid_size,
         radius_bucket(radius, cell_side),
@@ -60,10 +71,11 @@ class Ewma:
 
     __slots__ = ("value",)
 
-    def __init__(self) -> None:
-        self.value: Optional[float] = None
+    def __init__(self, value: Optional[float] = None) -> None:
+        self.value: Optional[float] = value
 
     def update(self, sample: float, alpha: float) -> None:
+        """Fold one sample in with weight ``alpha`` (first sample is taken as-is)."""
         if self.value is None:
             self.value = sample
         else:
@@ -89,6 +101,10 @@ class _WorkEntry:
 class Calibrator:
     """Bounded-memory store of observed work fractions and duplication scales.
 
+    Thread-safe: every public method takes an internal lock, so one
+    calibrator may serve many engines concurrently (the query service
+    shares one across its whole engine pool).
+
     Args:
         memory: Maximum number of (algorithm, signature) work entries and of
             (grid size, radius bucket) duplication entries kept (LRU).
@@ -102,6 +118,7 @@ class Calibrator:
             raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
         self.memory = memory
         self.smoothing = smoothing
+        self._lock = threading.RLock()
         self._work: "OrderedDict[Tuple[str, Signature], _WorkEntry]" = OrderedDict()
         self._global_work: Dict[str, _WorkEntry] = {}
         self._duplication: "OrderedDict[Tuple[int, int], Ewma]" = OrderedDict()
@@ -114,35 +131,38 @@ class Calibrator:
         self, algorithm: str, signature: Signature, defaults: WorkFactors
     ) -> WorkFactors:
         """Best available work factors: signature entry > global > defaults."""
-        entry = self._work.get((algorithm, signature))
-        if entry is not None:
-            self._work.move_to_end((algorithm, signature))
-        fallback = self._global_work.get(algorithm)
-        return WorkFactors(
-            examined=self._pick(
-                entry and entry.examined, fallback and fallback.examined,
-                defaults.examined,
-            ),
-            pairs=self._pick(
-                entry and entry.pairs, fallback and fallback.pairs, defaults.pairs
-            ),
-        )
+        with self._lock:
+            entry = self._work.get((algorithm, signature))
+            if entry is not None:
+                self._work.move_to_end((algorithm, signature))
+            fallback = self._global_work.get(algorithm)
+            return WorkFactors(
+                examined=self._pick(
+                    entry and entry.examined, fallback and fallback.examined,
+                    defaults.examined,
+                ),
+                pairs=self._pick(
+                    entry and entry.pairs, fallback and fallback.pairs, defaults.pairs
+                ),
+            )
 
     def reduce_scale_for(self, algorithm: str, signature: Signature) -> float:
         """Makespan correction for one algorithm (1.0 when unobserved)."""
-        entry = self._work.get((algorithm, signature))
-        fallback = self._global_work.get(algorithm)
-        return self._pick(
-            entry and entry.reduce_scale, fallback and fallback.reduce_scale, 1.0
-        )
+        with self._lock:
+            entry = self._work.get((algorithm, signature))
+            fallback = self._global_work.get(algorithm)
+            return self._pick(
+                entry and entry.reduce_scale, fallback and fallback.reduce_scale, 1.0
+            )
 
     def duplication_scale(self, grid_size: int, rbucket: int) -> float:
         """Observed-over-estimated duplication correction (1.0 when unseen)."""
-        entry = self._duplication.get((grid_size, rbucket))
-        if entry is None or entry.value is None:
-            return 1.0
-        self._duplication.move_to_end((grid_size, rbucket))
-        return entry.value
+        with self._lock:
+            entry = self._duplication.get((grid_size, rbucket))
+            if entry is None or entry.value is None:
+                return 1.0
+            self._duplication.move_to_end((grid_size, rbucket))
+            return entry.value
 
     @staticmethod
     def _pick(primary: Optional[Ewma], secondary: Optional[Ewma],
@@ -153,16 +173,152 @@ class Calibrator:
         return default
 
     def __len__(self) -> int:
-        return len(self._work)
+        with self._lock:
+            return len(self._work)
 
     def snapshot(self) -> Dict[str, object]:
         """Introspection summary (used by tests and ``--explain``)."""
+        with self._lock:
+            return {
+                "observations": self.observations,
+                "work_entries": len(self._work),
+                "duplication_entries": len(self._duplication),
+                "memory": self.memory,
+            }
+
+    # ------------------------------------------------------------------ #
+    # durable state
+
+    def state_dict(self) -> Dict[str, object]:
+        """The full calibration state as plain JSON-serializable data.
+
+        Work and duplication entries are listed oldest-first, so
+        :meth:`restore_state` rebuilds the exact LRU order and a
+        round-tripped calibrator answers every lookup identically to the
+        original.
+        """
+        with self._lock:
+            return {
+                "memory": self.memory,
+                "smoothing": self.smoothing,
+                "observations": self.observations,
+                "work": [
+                    {
+                        "algorithm": algorithm,
+                        "signature": list(signature),
+                        **self._entry_state(entry),
+                    }
+                    for (algorithm, signature), entry in self._work.items()
+                ],
+                "global_work": [
+                    {"algorithm": algorithm, **self._entry_state(entry)}
+                    for algorithm, entry in self._global_work.items()
+                ],
+                "duplication": [
+                    {
+                        "grid_size": grid_size,
+                        "radius_bucket": rbucket,
+                        "value": ewma.value,
+                    }
+                    for (grid_size, rbucket), ewma in self._duplication.items()
+                ],
+            }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Replace the calibration state with a :meth:`state_dict` export.
+
+        The calibrator's own ``memory`` / ``smoothing`` configuration wins
+        over whatever the snapshot recorded: entries beyond the memory bound
+        are dropped from the least recently used end, exactly as if they had
+        been evicted.
+
+        Raises:
+            CalibrationStateError: if the snapshot fails structural
+                validation; the calibrator is left unchanged in that case.
+        """
+        work, global_work, duplication, observations = self._parse_state(state)
+        with self._lock:
+            self._work = work
+            self._global_work = global_work
+            self._duplication = duplication
+            self.observations = observations
+            while len(self._work) > self.memory:
+                self._work.popitem(last=False)
+            while len(self._duplication) > self.memory:
+                self._duplication.popitem(last=False)
+
+    def _parse_state(
+        self, state: Mapping[str, object]
+    ) -> Tuple[
+        "OrderedDict[Tuple[str, Signature], _WorkEntry]",
+        Dict[str, _WorkEntry],
+        "OrderedDict[Tuple[int, int], Ewma]",
+        int,
+    ]:
+        """Validate a state export fully before mutating anything."""
+        if not isinstance(state, Mapping):
+            raise CalibrationStateError(
+                f"calibration state must be a mapping, got {type(state).__name__}"
+            )
+        try:
+            observations = int(state.get("observations", 0))
+            work: "OrderedDict[Tuple[str, Signature], _WorkEntry]" = OrderedDict()
+            for item in self._state_items(state, "work"):
+                signature = tuple(int(part) for part in item["signature"])
+                if len(signature) != 4:
+                    raise CalibrationStateError(
+                        f"work signature must have 4 components, got {signature!r}"
+                    )
+                work[(str(item["algorithm"]), signature)] = self._entry_from(item)
+            global_work: Dict[str, _WorkEntry] = {}
+            for item in self._state_items(state, "global_work"):
+                global_work[str(item["algorithm"])] = self._entry_from(item)
+            duplication: "OrderedDict[Tuple[int, int], Ewma]" = OrderedDict()
+            for item in self._state_items(state, "duplication"):
+                value = item["value"]
+                duplication[(int(item["grid_size"]), int(item["radius_bucket"]))] = (
+                    Ewma(None if value is None else float(value))
+                )
+        except CalibrationStateError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationStateError(
+                f"malformed calibration state: {exc!r}"
+            ) from exc
+        return work, global_work, duplication, observations
+
+    @staticmethod
+    def _state_items(state: Mapping[str, object], key: str) -> List[Mapping[str, object]]:
+        items = state.get(key, [])
+        if not isinstance(items, list):
+            raise CalibrationStateError(
+                f"calibration state field {key!r} must be a list, "
+                f"got {type(items).__name__}"
+            )
+        for item in items:
+            if not isinstance(item, Mapping):
+                raise CalibrationStateError(
+                    f"calibration state field {key!r} must contain objects, "
+                    f"found {type(item).__name__}"
+                )
+        return items
+
+    @staticmethod
+    def _entry_state(entry: _WorkEntry) -> Dict[str, object]:
         return {
-            "observations": self.observations,
-            "work_entries": len(self._work),
-            "duplication_entries": len(self._duplication),
-            "memory": self.memory,
+            "examined": entry.examined.value,
+            "pairs": entry.pairs.value,
+            "reduce_scale": entry.reduce_scale.value,
+            "observations": entry.observations,
         }
+
+    @staticmethod
+    def _entry_from(item: Mapping[str, object]) -> _WorkEntry:
+        entry = _WorkEntry(observations=int(item.get("observations", 0)))
+        for name in ("examined", "pairs", "reduce_scale"):
+            value = item.get(name)
+            getattr(entry, name).value = None if value is None else float(value)
+        return entry
 
     # ------------------------------------------------------------------ #
     # updates
@@ -189,17 +345,18 @@ class Calibrator:
         examined_fraction = actual_examined / actual_copies
         dup_ratio = actual_copies / raw_copies
         pair_base = raw_pairs * dup_ratio
-        entry = self._touch_work(algorithm, signature)
-        entry.examined.update(examined_fraction, self.smoothing)
-        if pair_base > 0:
-            entry.pairs.update(actual_pairs / pair_base, self.smoothing)
-        entry.observations += 1
-        fallback = self._global_work.setdefault(algorithm, _WorkEntry())
-        fallback.examined.update(examined_fraction, self.smoothing)
-        if pair_base > 0:
-            fallback.pairs.update(actual_pairs / pair_base, self.smoothing)
-        fallback.observations += 1
-        self.observations += 1
+        with self._lock:
+            entry = self._touch_work(algorithm, signature)
+            entry.examined.update(examined_fraction, self.smoothing)
+            if pair_base > 0:
+                entry.pairs.update(actual_pairs / pair_base, self.smoothing)
+            entry.observations += 1
+            fallback = self._global_work.setdefault(algorithm, _WorkEntry())
+            fallback.examined.update(examined_fraction, self.smoothing)
+            if pair_base > 0:
+                fallback.pairs.update(actual_pairs / pair_base, self.smoothing)
+            fallback.observations += 1
+            self.observations += 1
 
     def observe_reduce(
         self, algorithm: str, signature: Signature, predicted_seconds: float,
@@ -214,9 +371,11 @@ class Calibrator:
         if predicted_seconds <= 0 or actual_seconds < 0:
             return
         ratio = actual_seconds / predicted_seconds
-        self._touch_work(algorithm, signature).reduce_scale.update(ratio, self.smoothing)
-        fallback = self._global_work.setdefault(algorithm, _WorkEntry())
-        fallback.reduce_scale.update(ratio, self.smoothing)
+        with self._lock:
+            entry = self._touch_work(algorithm, signature)
+            entry.reduce_scale.update(ratio, self.smoothing)
+            fallback = self._global_work.setdefault(algorithm, _WorkEntry())
+            fallback.reduce_scale.update(ratio, self.smoothing)
 
     def observe_duplication(
         self, grid_size: int, rbucket: int, estimated_copies: float,
@@ -226,14 +385,15 @@ class Calibrator:
         if estimated_copies <= 0 or actual_copies <= 0:
             return
         key = (grid_size, rbucket)
-        entry = self._duplication.get(key)
-        if entry is None:
-            entry = self._duplication[key] = Ewma()
-            while len(self._duplication) > self.memory:
-                self._duplication.popitem(last=False)
-        else:
-            self._duplication.move_to_end(key)
-        entry.update(actual_copies / estimated_copies, self.smoothing)
+        with self._lock:
+            entry = self._duplication.get(key)
+            if entry is None:
+                entry = self._duplication[key] = Ewma()
+                while len(self._duplication) > self.memory:
+                    self._duplication.popitem(last=False)
+            else:
+                self._duplication.move_to_end(key)
+            entry.update(actual_copies / estimated_copies, self.smoothing)
 
     def _touch_work(self, algorithm: str, signature: Signature) -> _WorkEntry:
         key = (algorithm, signature)

@@ -126,6 +126,19 @@ class QueryPlanner:
         """Gather the planning statistics of one query (reusable by prepare)."""
         return collect_statistics(index, query, grid_size)
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Durable calibration state (see :meth:`Calibrator.state_dict`)."""
+        return self.calibrator.state_dict()
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Replace the calibration state with a prior :meth:`snapshot_state`.
+
+        Raises:
+            CalibrationStateError: if the state fails validation; the
+                calibrator is left unchanged.
+        """
+        self.calibrator.restore_state(state)
+
     def decide(self, stats: QueryStatistics) -> PlannerDecision:
         """Pick the algorithm with the lowest predicted simulated cost."""
         signature = self._signature(stats)

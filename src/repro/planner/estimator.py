@@ -100,6 +100,7 @@ class QueryStatistics:
 
     @property
     def num_candidates(self) -> int:
+        """Number of candidate features after keyword pruning."""
         return len(self.candidate_positions)
 
 

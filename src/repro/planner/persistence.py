@@ -1,0 +1,150 @@
+"""Durable planner calibration: versioned snapshots on disk.
+
+The calibration loop (:mod:`repro.planner.calibration`) is what makes
+``algorithm="auto"`` sharp, and before this module its state died with the
+process: every restart paid the cold-start warm-up again.  The query
+service (:mod:`repro.server`) closes that gap by checkpointing the
+calibrator here -- atomically on shutdown and periodically while serving --
+and restoring it on start, so planner decisions survive restarts.
+
+Snapshot format (JSON, one object per file)::
+
+    {
+      "format": "repro-calibration",
+      "version": 1,
+      "saved_unix": 1753779600.0,
+      "calibration": { ... Calibrator.state_dict() ... }
+    }
+
+Compatibility rules are strict on purpose: an unknown format name or
+version, truncated file, non-JSON content or structurally invalid payload
+raises :class:`~repro.exceptions.CalibrationStateError` -- callers that can
+start cold catch it and continue with an empty calibrator instead of
+guessing at a snapshot's meaning.  Writes are atomic (temp file +
+``os.replace`` in the destination directory), so a crash mid-checkpoint
+never leaves a truncated snapshot behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+from repro.exceptions import CalibrationStateError
+from repro.planner.calibration import Calibrator
+
+#: Format name stamped into every snapshot file.
+CALIBRATION_FORMAT = "repro-calibration"
+
+#: Current snapshot format version; bumped on incompatible layout changes.
+CALIBRATION_VERSION = 1
+
+
+def save_calibration(path: str, calibrator: Calibrator) -> Dict[str, object]:
+    """Atomically write ``calibrator``'s state to ``path``; return the payload.
+
+    The snapshot is serialized to a temporary file in the destination
+    directory and moved into place with ``os.replace``, so readers never
+    observe a partially written file and a crash cannot corrupt an existing
+    snapshot.
+    """
+    payload = {
+        "format": CALIBRATION_FORMAT,
+        "version": CALIBRATION_VERSION,
+        "saved_unix": time.time(),
+        "calibration": calibrator.state_dict(),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=".calibration-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return payload
+
+
+def load_calibration(path: str) -> Dict[str, object]:
+    """Read and validate a snapshot file; return its ``calibration`` state.
+
+    Raises:
+        CalibrationStateError: if the file is missing, unreadable, truncated,
+            not JSON, or carries an unknown format name / version.  The
+            returned state is *structurally* validated only on restore
+            (:meth:`Calibrator.restore_state`), which performs the per-entry
+            checks.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CalibrationStateError(
+            f"cannot read calibration snapshot {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CalibrationStateError(
+            f"calibration snapshot {path!r} is not valid JSON "
+            f"(truncated checkpoint?): {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CalibrationStateError(
+            f"calibration snapshot {path!r} must hold a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    if payload.get("format") != CALIBRATION_FORMAT:
+        raise CalibrationStateError(
+            f"calibration snapshot {path!r} has format "
+            f"{payload.get('format')!r}; expected {CALIBRATION_FORMAT!r}"
+        )
+    if payload.get("version") != CALIBRATION_VERSION:
+        raise CalibrationStateError(
+            f"calibration snapshot {path!r} has version "
+            f"{payload.get('version')!r}; this build reads version "
+            f"{CALIBRATION_VERSION} only"
+        )
+    state = payload.get("calibration")
+    if not isinstance(state, dict):
+        raise CalibrationStateError(
+            f"calibration snapshot {path!r} is missing its 'calibration' object"
+        )
+    return state
+
+
+def restore_calibration(path: str, calibrator: Calibrator) -> None:
+    """Load a snapshot from ``path`` into ``calibrator`` (all-or-nothing).
+
+    Raises:
+        CalibrationStateError: on any validation failure; the calibrator is
+            left unchanged.
+    """
+    calibrator.restore_state(load_calibration(path))
+
+
+def try_restore_calibration(
+    path: Optional[str], calibrator: Calibrator
+) -> Optional[str]:
+    """Best-effort restore for services that can start cold.
+
+    Returns None on success (or when ``path`` is None / does not exist yet),
+    and the rejection reason string when the snapshot was rejected -- the
+    caller logs it and serves with a cold calibrator.
+    """
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        restore_calibration(path, calibrator)
+    except CalibrationStateError as exc:
+        return str(exc)
+    return None

@@ -1,0 +1,227 @@
+"""Stdlib JSON-over-HTTP front-end of the query service.
+
+Endpoints (see ``docs/service.md`` for the full protocol reference):
+
+* ``POST /query``   -- one request object in, one response object out.
+* ``POST /batch``   -- JSONL (or a JSON array) in, JSONL out; the whole
+  batch is validated before any query runs, mirroring ``execute_many``.
+* ``GET /healthz``  -- liveness: ``{"status": "ok"}`` plus uptime.
+* ``GET /stats``    -- the service's full counter tree (requests, batching,
+  result/index caches, planner decisions and calibration persistence).
+
+Built on :class:`http.server.ThreadingHTTPServer` -- one thread per
+connection, no third-party dependencies -- which is exactly what the
+micro-batcher wants: concurrent handler threads all feed the shared request
+queue, and the dispatcher pool turns their simultaneous requests into
+``execute_many`` batches.
+
+Error mapping: invalid requests (bad JSON, unknown fields, invalid
+parameters or combinations) are ``400`` with ``{"error": ...}``; unknown
+paths are ``404``; unsupported methods are ``405``; execution failures are
+``500``.  The server never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Mapping, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.server.protocol import batch_lines, error_payload
+from repro.server.service import QueryService
+
+#: Largest accepted request body (16 MiB); protects the JSON parser.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`."""
+
+    #: Handler threads die with the process; a stuck connection cannot
+    #: block interpreter exit.
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: QueryService,
+        quiet: bool = True,
+    ) -> None:
+        """Bind to ``address`` (port 0 picks an ephemeral port).
+
+        The service must be started by the caller; the server only routes
+        requests to it.  ``quiet`` suppresses per-request access logging.
+        """
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with an ephemeral bind)."""
+        return self.server_address[1]
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the bound :class:`QueryService`."""
+
+    server: QueryHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/healthz`` and ``/stats``."""
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "uptime_seconds": self.server.service.uptime_seconds(),
+            })
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        elif self.path in ("/query", "/batch"):
+            self._send_json(405, error_payload(f"use POST for {self.path}"))
+        else:
+            self._send_json(404, error_payload(f"unknown path {self.path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/query`` and ``/batch``."""
+        if self.path == "/query":
+            self._handle_query()
+        elif self.path == "/batch":
+            self._handle_batch()
+        elif self.path in ("/healthz", "/stats"):
+            self._send_json(405, error_payload(f"use GET for {self.path}"))
+        else:
+            self._send_json(404, error_payload(f"unknown path {self.path!r}"))
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+
+    def _handle_query(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            spec = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, error_payload(f"invalid JSON: {exc}"))
+            return
+        try:
+            payload = self.server.service.submit(spec)
+        except ReproError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
+            return
+        self._send_json(200, payload)
+
+    def _handle_batch(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            specs = self._parse_batch_body(body)
+        except ValueError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        try:
+            payloads = self.server.service.submit_many(specs)
+        except ReproError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
+            return
+        self._send_text(200, batch_lines(payloads), "application/x-ndjson")
+
+    @staticmethod
+    def _parse_batch_body(body: bytes) -> List[Mapping[str, object]]:
+        """JSONL (one object per non-empty line) or a single JSON array."""
+        text = body.decode("utf-8", errors="replace").strip()
+        if not text:
+            raise ValueError("empty batch body; send JSONL or a JSON array")
+        if text.startswith("["):
+            try:
+                specs = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON array: {exc}") from exc
+            if not isinstance(specs, list):
+                raise ValueError("batch body must be a JSON array or JSONL")
+            return specs
+        specs = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                specs.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {number}: invalid JSON ({exc})") from exc
+        if not specs:
+            raise ValueError("batch body contains no queries")
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, error_payload(
+                f"Content-Length must be between 0 and {MAX_BODY_BYTES}"
+            ))
+            return None
+        return self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
+        self._send_text(status, json.dumps(payload), "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if status >= 400:
+            # Error paths may not have drained the request body (wrong
+            # method, unknown path, oversized Content-Length).  On a
+            # keep-alive connection the leftover bytes would be parsed as
+            # the next request; closing keeps the protocol in sync.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Access logging, silenced by default (``quiet=False`` restores it)."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> QueryHTTPServer:
+    """Bind (but do not start) an HTTP server for ``service``.
+
+    The caller owns both lifecycles: start the service, then
+    ``serve_forever()`` (or drive ``handle_request()`` in tests), and shut
+    both down afterwards.  ``port=0`` binds an ephemeral port, available as
+    :attr:`QueryHTTPServer.port`.
+    """
+    return QueryHTTPServer((host, port), service, quiet=quiet)
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "QueryHTTPServer",
+    "make_server",
+]

@@ -1,0 +1,252 @@
+"""Wire protocol of the query service: request parsing, response payloads.
+
+One request is one JSON object (the same shape the ``repro batch`` JSONL
+format uses, so offline query files replay against a live server verbatim)::
+
+    {"keywords": ["w0001", "w0002"],   # or a "w0001,w0002" string
+     "k": 10,                          # optional, service default otherwise
+     "radius": 2.0,                    # optional
+     "algorithm": "espq-sco",          # optional; "auto" plans per query
+     "grid_size": 20,                  # optional
+     "score_mode": "range",            # optional
+     "stats": true}                    # optional: attach execution stats
+
+One response is one JSON object::
+
+    {"results": [{"oid": ..., "score": ..., "x": ..., "y": ...}, ...],
+     "algorithm": "espq-sco",          # as requested (may be "auto")
+     "planned_algorithm": "espq-len",  # when the planner decided
+     "cached": false,                  # served from the result cache?
+     "stats": {...}}                   # only when requested
+
+Parsing resolves every optional field against the service defaults, so the
+parsed request carries concrete values -- that is what makes the *canonical
+query key* well defined: two requests that resolve to the same
+``(k, radius, keywords, algorithm, grid size, score mode)`` hit the same
+result-cache entry (within one dataset version).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.scoring import SCORE_MODES
+from repro.exceptions import InvalidQueryError
+from repro.index.planner import BatchQuery
+from repro.model.query import SpatialPreferenceQuery
+from repro.model.result import QueryResult
+
+#: Result-stats keys copied into a response when ``"stats": true``.
+STATS_KEYS = (
+    "algorithm",
+    "grid_size",
+    "backend",
+    "workers",
+    "shuffled_records",
+    "features_pruned",
+    "features_examined",
+    "score_computations",
+    "simulated_seconds",
+    "planner_estimates",
+    "planner_calibrated",
+    "index",
+)
+
+#: Request fields the parser understands; anything else is rejected so a
+#: typoed field name ("keyword") fails loudly instead of being ignored.
+REQUEST_FIELDS = frozenset(
+    {"keywords", "k", "radius", "algorithm", "grid_size", "score_mode", "stats"}
+)
+
+
+@dataclass(frozen=True)
+class RequestDefaults:
+    """Service-level defaults applied to unset request fields."""
+
+    k: int
+    radius: float
+    algorithm: str
+    grid_size: int
+    score_mode: str = "range"
+
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """A fully resolved request: every optional field made concrete.
+
+    Attributes:
+        item: The batch item handed to ``SPQEngine.execute_many`` (all
+            overrides set explicitly, never deferring to batch defaults --
+            micro-batch composition must not change a request's meaning).
+        include_stats: Attach the :data:`STATS_KEYS` subset to the response.
+    """
+
+    item: BatchQuery
+    include_stats: bool = False
+
+    def canonical_key(self, dataset_version: int) -> Tuple[object, ...]:
+        """The result-cache key of this request under one dataset snapshot."""
+        query = self.item.query
+        return (
+            dataset_version,
+            query.k,
+            query.radius,
+            tuple(sorted(query.keywords)),
+            self.item.algorithm,
+            self.item.grid_size,
+            self.item.score_mode,
+        )
+
+
+def parse_query_spec(
+    spec: Mapping[str, object],
+    defaults: RequestDefaults,
+    algorithm_choices: Tuple[str, ...],
+) -> ParsedRequest:
+    """Parse one request object into a :class:`ParsedRequest`.
+
+    Raises:
+        InvalidQueryError: for a structurally invalid request (wrong types,
+            unknown fields, unknown algorithm / score mode, invalid query
+            parameters).  Combination rules (e.g. ``auto`` only with the
+            ``range`` score mode) are enforced separately by
+            ``SPQEngine.validate_combination``.
+    """
+    if not isinstance(spec, Mapping):
+        raise InvalidQueryError(
+            f"request must be a JSON object, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - REQUEST_FIELDS
+    if unknown:
+        raise InvalidQueryError(
+            f"unknown request field(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(REQUEST_FIELDS)}"
+        )
+
+    keywords = spec.get("keywords")
+    if isinstance(keywords, str):
+        keywords = keywords.split(",")
+    if not isinstance(keywords, (list, tuple)) or not all(
+        isinstance(word, str) for word in keywords
+    ):
+        raise InvalidQueryError(
+            "'keywords' must be a non-empty list of non-empty strings "
+            "(or a comma-separated string)"
+        )
+    # Strip whitespace identically for both spellings, so [" w0001"] and
+    # "w0001" resolve to the same canonical query (and cache entry).
+    keywords = [word.strip() for word in keywords]
+    keywords = [word for word in keywords if word]
+    if not keywords:
+        raise InvalidQueryError(
+            "'keywords' must be a non-empty list of non-empty strings "
+            "(or a comma-separated string)"
+        )
+
+    k = _int_field(spec, "k", defaults.k, minimum=1)
+    grid_size = _int_field(spec, "grid_size", defaults.grid_size, minimum=1)
+
+    radius = spec.get("radius", defaults.radius)
+    if (
+        isinstance(radius, bool)
+        or not isinstance(radius, (int, float))
+        or not math.isfinite(radius)
+    ):
+        # json.loads accepts the bare tokens NaN/Infinity; letting them
+        # through would emit invalid JSON (NaN) or crash the grid (inf).
+        raise InvalidQueryError(f"'radius' must be a finite number, got {radius!r}")
+
+    algorithm = spec.get("algorithm", defaults.algorithm)
+    if algorithm not in algorithm_choices:
+        raise InvalidQueryError(
+            f"unknown algorithm {algorithm!r}; expected one of {algorithm_choices}"
+        )
+    score_mode = spec.get("score_mode", defaults.score_mode)
+    if score_mode not in SCORE_MODES:
+        raise InvalidQueryError(
+            f"unknown score_mode {score_mode!r}; expected one of {SCORE_MODES}"
+        )
+    include_stats = spec.get("stats", False)
+    if not isinstance(include_stats, bool):
+        raise InvalidQueryError(f"'stats' must be a boolean, got {include_stats!r}")
+
+    query = SpatialPreferenceQuery.create(
+        k=k, radius=float(radius), keywords=keywords
+    )
+    return ParsedRequest(
+        item=BatchQuery(
+            query=query,
+            algorithm=str(algorithm),
+            grid_size=grid_size,
+            score_mode=str(score_mode),
+        ),
+        include_stats=include_stats,
+    )
+
+
+def _int_field(
+    spec: Mapping[str, object], name: str, default: int, minimum: int
+) -> int:
+    value = spec.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidQueryError(f"{name!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise InvalidQueryError(f"{name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def result_payload(
+    parsed: ParsedRequest, result: QueryResult, cached: bool = False
+) -> Dict[str, object]:
+    """Build the response object of one executed (or cache-served) request."""
+    payload: Dict[str, object] = {
+        "results": [
+            {"oid": entry.obj.oid, "score": entry.score,
+             "x": entry.obj.x, "y": entry.obj.y}
+            for entry in result
+        ],
+        "k": parsed.item.query.k,
+        "radius": parsed.item.query.radius,
+        "keywords": sorted(parsed.item.query.keywords),
+        "algorithm": parsed.item.algorithm,
+        "cached": cached,
+    }
+    if "planned_algorithm" in result.stats:
+        payload["planned_algorithm"] = result.stats["planned_algorithm"]
+    if parsed.include_stats:
+        payload["stats"] = {
+            key: result.stats[key] for key in STATS_KEYS if key in result.stats
+        }
+    return payload
+
+
+def copy_payload(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Recursive copy of a response payload (containers only).
+
+    Payloads are plain JSON trees -- and stats-bearing ones nest three
+    levels deep (``stats.planner_estimates``, ``stats.index``) -- so every
+    dict and list is copied: a cache entry never shares mutable state with
+    a delivered response, however deep a caller mutates it.
+    """
+    return {key: _copy_value(value) for key, value in payload.items()}
+
+
+def _copy_value(value: object) -> object:
+    if isinstance(value, Mapping):
+        return {key: _copy_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_value(item) for item in value]
+    return value
+
+
+def error_payload(message: str) -> Dict[str, str]:
+    """The uniform error response body."""
+    return {"error": message}
+
+
+def batch_lines(payloads: List[Dict[str, object]]) -> str:
+    """Serialize batch responses as JSONL (one response object per line)."""
+    return "".join(json.dumps(payload) + "\n" for payload in payloads)

@@ -1,0 +1,540 @@
+"""The long-running query service behind ``repro serve``.
+
+:class:`QueryService` turns the batch-oriented engine stack into an online
+system:
+
+* a **warm engine pool** -- ``engines`` :class:`~repro.core.engine.SPQEngine`
+  instances over one dataset snapshot, all sharing a single
+  :class:`~repro.index.cache.IndexCache` (an index built for any request
+  serves every later request, whichever engine runs it) and a single
+  :class:`~repro.planner.core.QueryPlanner` (every executed query feeds one
+  calibration state);
+* **micro-batching** -- concurrent requests are grouped by the
+  :class:`~repro.server.batching.MicroBatcher` into ``execute_many`` calls,
+  so the batch-reuse machinery built for offline workloads applies to
+  online traffic;
+* a **result cache** -- an LRU of response payloads keyed by
+  ``(dataset_version, canonical query)``
+  (:class:`~repro.server.cache.ResultCache`), answering repeated queries
+  without touching an engine; and
+* **durable calibration** -- with a ``calibration_path`` the planner's
+  state is restored on start, checkpointed periodically while serving and
+  saved atomically on shutdown, so ``algorithm="auto"`` starts sharp after
+  a restart instead of re-warming from priors.
+
+The service is transport-agnostic: :mod:`repro.server.http` exposes it over
+stdlib HTTP, tests and benchmarks drive :meth:`QueryService.submit`
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.engine import ALGORITHM_CHOICES, EngineConfig, SPQEngine
+from repro.datagen.queries import radius_from_cell_fraction
+from repro.model.objects import DataObject, FeatureObject
+from repro.index.cache import IndexCache
+from repro.planner.core import PlannerConfig, QueryPlanner, resolve_planner_mode
+from repro.planner.persistence import save_calibration, try_restore_calibration
+from repro.server.batching import MicroBatcher, PendingRequest
+from repro.server.cache import ResultCache
+from repro.server.protocol import (
+    ParsedRequest,
+    RequestDefaults,
+    parse_query_spec,
+    result_payload,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`QueryService`.
+
+    Attributes:
+        engines: Warm engine-pool size; also the number of micro-batch
+            dispatcher threads (dispatcher *i* owns engine *i*).
+        max_batch: Largest micro-batch handed to one ``execute_many`` call.
+        batch_window_seconds: How long a dispatcher lingers for batchmates
+            (0 = natural batching: group what is queued, never wait).
+        result_cache_capacity: Entries of the response LRU (0 disables it).
+        calibration_path: Durable planner-calibration snapshot location;
+            None disables persistence.
+        checkpoint_interval_seconds: Periodic calibration checkpoint cadence
+            while serving (0 = save only on shutdown).
+        request_timeout_seconds: How long one submitted request may wait for
+            its micro-batch before :class:`TimeoutError`.
+        default_k / default_radius / default_radius_fraction /
+            default_algorithm / default_grid_size: Applied to request fields
+            the client leaves unset.  A None ``default_radius`` derives one
+            from ``default_radius_fraction`` of the default grid's cell side
+            (the same rule the CLI uses); a None ``default_grid_size``
+            defers to the engine configuration.
+    """
+
+    engines: int = 2
+    max_batch: int = 8
+    batch_window_seconds: float = 0.0
+    result_cache_capacity: int = 256
+    calibration_path: Optional[str] = None
+    checkpoint_interval_seconds: float = 0.0
+    request_timeout_seconds: float = 60.0
+    default_k: int = 10
+    default_radius: Optional[float] = None
+    default_radius_fraction: float = 0.10
+    default_algorithm: str = "espq-sco"
+    default_grid_size: Optional[int] = None
+
+
+@dataclass
+class _ServiceCounters:
+    """Mutable request/batch accounting (guarded by the service lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch: int = 0
+    checkpoints: int = 0
+    last_checkpoint_unix: Optional[float] = None
+    checkpoint_error: Optional[str] = None
+    calibration_restored: bool = False
+    calibration_rejected: Optional[str] = None
+
+
+@dataclass
+class _PendingPayload:
+    """What rides through the micro-batch queue for one request."""
+
+    parsed: ParsedRequest
+    key: tuple = field(default_factory=tuple)
+
+
+class QueryService:
+    """Concurrent, warm query service over one dataset snapshot.
+
+    Use as a context manager (``with QueryService(...) as service:``) or
+    call :meth:`start` / :meth:`shutdown` explicitly.  Thread-safe:
+    :meth:`submit` may be called from any number of transport threads.
+    """
+
+    def __init__(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        engine_config: Optional[EngineConfig] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        """Build the engine pool and serving structures (does not start).
+
+        Raises:
+            ValueError: for a non-positive engine pool.
+            JobConfigurationError: for invalid engine backend/planner
+                configuration.
+        """
+        self.config = config or ServiceConfig()
+        if self.config.engines < 1:
+            raise ValueError(f"engines must be >= 1, got {self.config.engines}")
+        engine_config = engine_config or EngineConfig()
+        self.planner_mode = resolve_planner_mode(engine_config.planner_mode)
+        self._planner: Optional[QueryPlanner] = None
+        if self.planner_mode == "on":
+            self._planner = QueryPlanner(
+                cluster=engine_config.cluster,
+                parameters=engine_config.cost_parameters,
+                config=PlannerConfig(
+                    mode=self.planner_mode,
+                    memory=engine_config.planner_memory,
+                    smoothing=engine_config.planner_smoothing,
+                ),
+            )
+        self._index_cache = IndexCache(capacity=engine_config.index_cache_capacity)
+        self._engines: List[SPQEngine] = [
+            SPQEngine(
+                data_objects,
+                feature_objects,
+                config=engine_config,
+                index_cache=self._index_cache,
+                planner=self._planner,
+            )
+            for _ in range(self.config.engines)
+        ]
+        self._result_cache = ResultCache(self.config.result_cache_capacity)
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            workers=self.config.engines,
+            max_batch=self.config.max_batch,
+            window_seconds=self.config.batch_window_seconds,
+        )
+        self._defaults = self._resolve_defaults()
+        self._counters = _ServiceCounters()
+        self._lock = threading.Lock()
+        self._checkpoint_stop = threading.Event()
+        self._checkpoint_thread: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = False
+        self._started_monotonic: Optional[float] = None
+
+    def _resolve_defaults(self) -> RequestDefaults:
+        grid_size = (
+            self.config.default_grid_size
+            if self.config.default_grid_size is not None
+            else self._engines[0].config.grid_size
+        )
+        radius = self.config.default_radius
+        if radius is None:
+            radius = radius_from_cell_fraction(
+                self._engines[0].extent,
+                grid_size,
+                self.config.default_radius_fraction,
+            )
+        return RequestDefaults(
+            k=self.config.default_k,
+            radius=float(radius),
+            algorithm=self.config.default_algorithm,
+            grid_size=grid_size,
+            score_mode="range",
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> "QueryService":
+        """Restore calibration, spawn dispatchers and checkpoints (idempotent).
+
+        A calibration snapshot that fails validation is *rejected, not
+        fatal*: the reason is recorded in :meth:`stats` under
+        ``planner.persistence.rejected`` and the service starts cold.
+        """
+        with self._lock:
+            if self._started or self._closed:
+                return self
+            self._started = True
+            self._started_monotonic = time.monotonic()
+        if self._planner is not None and self.config.calibration_path:
+            rejected = try_restore_calibration(
+                self.config.calibration_path, self._planner.calibrator
+            )
+            with self._lock:
+                self._counters.calibration_rejected = rejected
+                self._counters.calibration_restored = (
+                    rejected is None
+                    and self._planner.calibrator.observations > 0
+                )
+        self._batcher.start()
+        if (
+            self.config.calibration_path
+            and self._planner is not None
+            and self.config.checkpoint_interval_seconds > 0
+        ):
+            self._checkpoint_thread = threading.Thread(
+                target=self._run_checkpoints,
+                name="repro-calibration-checkpoint",
+                daemon=True,
+            )
+            self._checkpoint_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving, save calibration, close every engine (idempotent).
+
+        Queued requests are drained before the dispatchers exit; engines
+        are closed afterwards, and closing an already-closed engine is a
+        no-op, so repeated shutdowns (or external ``close()`` calls on
+        pooled engines) are safe.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.stop()
+        self._checkpoint_stop.set()
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join()
+        if self._started:
+            self.checkpoint()
+        for engine in self._engines:
+            engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has been called."""
+        return self._closed
+
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it); lock-free.
+
+        Liveness probes poll this every few seconds -- it must not contend
+        on the counter or calibrator locks the way the full :meth:`stats`
+        tree does.
+        """
+        started = self._started_monotonic
+        return time.monotonic() - started if started is not None else 0.0
+
+    def _run_checkpoints(self) -> None:
+        interval = self.config.checkpoint_interval_seconds
+        while not self._checkpoint_stop.wait(interval):
+            self.checkpoint()
+
+    def checkpoint(self) -> Optional[str]:
+        """Persist the calibration state now; returns the path written.
+
+        No-op (returns None) without a ``calibration_path`` or with the
+        planner disabled.  A failed write (directory gone, disk full, ...)
+        never raises -- shutdown must still close the engines and the
+        periodic checkpoint thread must survive transient failures -- it
+        returns None and records the error under
+        ``planner.persistence.last_error`` in :meth:`stats`.
+        """
+        if self._planner is None or not self.config.calibration_path:
+            return None
+        try:
+            save_calibration(
+                self.config.calibration_path, self._planner.calibrator
+            )
+        except OSError as exc:
+            with self._lock:
+                self._counters.checkpoint_error = str(exc)
+            return None
+        with self._lock:
+            self._counters.checkpoints += 1
+            self._counters.last_checkpoint_unix = time.time()
+            self._counters.checkpoint_error = None
+        return self.config.calibration_path
+
+    # ------------------------------------------------------------------ #
+    # datasets
+
+    def set_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> None:
+        """Swap the dataset snapshot on every pooled engine.
+
+        Bumps each engine's dataset version (making every cached result
+        unreachable -- the result-cache key embeds the version), drops the
+        shared index cache, and re-derives the request defaults (the
+        default radius is a fraction of the *new* extent's cell side).
+        Callers should quiesce traffic first: requests in flight during
+        the swap may fail.
+        """
+        for engine in self._engines:
+            engine.set_datasets(data_objects, feature_objects)
+        self._result_cache.invalidate()
+        self._defaults = self._resolve_defaults()
+
+    # ------------------------------------------------------------------ #
+    # serving
+
+    def submit(self, spec: Mapping[str, object]) -> Dict[str, object]:
+        """Serve one request object; returns its response payload.
+
+        The request is parsed and validated on the caller's thread (a bad
+        request fails alone, never its micro-batch), answered from the
+        result cache when possible, and otherwise queued for the next
+        micro-batch.
+
+        Raises:
+            InvalidQueryError: for an invalid request.
+            RuntimeError: when the service is not started or already shut
+                down.
+            TimeoutError: when no dispatcher answers within the configured
+                request timeout.
+        """
+        parsed = self._parse(spec)
+        return self._serve(parsed)
+
+    def submit_many(
+        self, specs: Sequence[Mapping[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Serve a batch of request objects; responses in input order.
+
+        All requests are validated up front (the whole batch is rejected if
+        any is invalid, mirroring ``execute_many``), then enqueued together
+        so they can share micro-batches.
+        """
+        parsed_list = [self._parse(spec) for spec in specs]
+        pendings: List[Optional[PendingRequest]] = []
+        responses: List[Optional[Dict[str, object]]] = []
+        for parsed in parsed_list:
+            hit = self._lookup(parsed)
+            if hit is not None:
+                pendings.append(None)
+                responses.append(hit)
+            else:
+                pendings.append(self._enqueue(parsed))
+                responses.append(None)
+        for index, pending in enumerate(pendings):
+            if pending is not None:
+                responses[index] = self._await(pending)
+        return [response for response in responses if response is not None]
+
+    def _parse(self, spec: Mapping[str, object]) -> ParsedRequest:
+        parsed = parse_query_spec(spec, self._defaults, ALGORITHM_CHOICES)
+        self._engines[0].validate_combination(
+            parsed.item.algorithm, parsed.item.score_mode
+        )
+        return parsed
+
+    def _serve(self, parsed: ParsedRequest) -> Dict[str, object]:
+        hit = self._lookup(parsed)
+        if hit is not None:
+            return hit
+        return self._await(self._enqueue(parsed))
+
+    def _lookup(self, parsed: ParsedRequest) -> Optional[Dict[str, object]]:
+        with self._lock:
+            self._counters.submitted += 1
+        if not self._result_cache.enabled:
+            return None
+        key = parsed.canonical_key(self._engines[0].dataset_version)
+        payload = self._result_cache.get(key)
+        if payload is None:
+            return None
+        payload["cached"] = True
+        if not parsed.include_stats:
+            payload.pop("stats", None)
+        with self._lock:
+            self._counters.cache_hits += 1
+            self._counters.completed += 1
+        return payload
+
+    def _enqueue(self, parsed: ParsedRequest) -> PendingRequest:
+        key = parsed.canonical_key(self._engines[0].dataset_version)
+        return self._batcher.submit(_PendingPayload(parsed=parsed, key=key))
+
+    def _await(self, pending: PendingRequest) -> Dict[str, object]:
+        try:
+            response = pending.wait(self.config.request_timeout_seconds)
+        except BaseException:
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        with self._lock:
+            self._counters.completed += 1
+        return response  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # micro-batch execution (dispatcher threads)
+
+    def _execute_batch(
+        self, worker_index: int, batch: Sequence[PendingRequest]
+    ) -> None:
+        """Run one micro-batch on this dispatcher's engine (never raises)."""
+        engine = self._engines[worker_index]
+        payloads: List[_PendingPayload] = [p.payload for p in batch]  # type: ignore[misc]
+        try:
+            results = engine.execute_many([p.parsed.item for p in payloads])
+        except BaseException as exc:  # noqa: BLE001 - delivered to submitters
+            for pending in batch:
+                pending.fail(exc)
+            return
+        with self._lock:
+            self._counters.batches += 1
+            self._counters.batched_requests += len(batch)
+            self._counters.max_batch = max(self._counters.max_batch, len(batch))
+        for pending, payload, result in zip(batch, payloads, results):
+            # Cache the stats-bearing payload, answer with what was asked:
+            # a later stats-requesting hit can then still see them.
+            stats_parsed = ParsedRequest(item=payload.parsed.item, include_stats=True)
+            full = result_payload(stats_parsed, result)
+            self._result_cache.put(payload.key, full)
+            response = dict(full)
+            if not payload.parsed.include_stats:
+                response.pop("stats", None)
+            pending.complete(response)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate serving statistics (the ``GET /stats`` payload)."""
+        with self._lock:
+            counters = _ServiceCounters(**vars(self._counters))
+            uptime = (
+                time.monotonic() - self._started_monotonic
+                if self._started_monotonic is not None
+                else 0.0
+            )
+        mean_batch = (
+            counters.batched_requests / counters.batches if counters.batches else 0.0
+        )
+        engine = self._engines[0]
+        stats: Dict[str, object] = {
+            "uptime_seconds": uptime,
+            "started": self._started,
+            "closed": self._closed,
+            "requests": {
+                "submitted": counters.submitted,
+                "completed": counters.completed,
+                "failed": counters.failed,
+                "result_cache_hits": counters.cache_hits,
+            },
+            "batching": {
+                "batches": counters.batches,
+                "batched_requests": counters.batched_requests,
+                "max_batch_observed": counters.max_batch,
+                "mean_batch": mean_batch,
+                "max_batch": self.config.max_batch,
+                "window_seconds": self.config.batch_window_seconds,
+                "queue_depth": self._batcher.queue_depth(),
+            },
+            "result_cache": {
+                "capacity": self._result_cache.capacity,
+                "size": len(self._result_cache),
+                **self._result_cache.stats.as_dict(),
+            },
+            "index_cache": self._index_cache.stats.as_dict(),
+            "engines": {
+                "count": len(self._engines),
+                "backend_configured": engine.config.backend,
+                "backends_active": [
+                    e.active_backend_name for e in self._engines
+                ],
+            },
+            "dataset": {
+                "version": engine.dataset_version,
+                "data_objects": len(engine.data_objects),
+                "feature_objects": len(engine.feature_objects),
+            },
+            "defaults": vars(self._defaults),
+        }
+        planner_stats: Dict[str, object] = {"mode": self.planner_mode}
+        if self._planner is not None:
+            planner_stats["decisions"] = self._planner.decisions
+            planner_stats["calibration"] = self._planner.calibrator.snapshot()
+            planner_stats["persistence"] = {
+                "path": self.config.calibration_path,
+                "restored": counters.calibration_restored,
+                "rejected": counters.calibration_rejected,
+                "checkpoints": counters.checkpoints,
+                "last_checkpoint_unix": counters.last_checkpoint_unix,
+                "last_error": counters.checkpoint_error,
+                "checkpoint_interval_seconds": (
+                    self.config.checkpoint_interval_seconds
+                ),
+            }
+        stats["planner"] = planner_stats
+        return stats
+
+    @property
+    def planner(self) -> Optional[QueryPlanner]:
+        """The shared planner (None when the planner is disabled)."""
+        return self._planner
+
+    @property
+    def engines(self) -> List[SPQEngine]:
+        """The warm engine pool (shared index cache and planner)."""
+        return self._engines

@@ -49,18 +49,22 @@ class BoundingBox:
 
     @property
     def width(self) -> float:
+        """Horizontal extent of the box."""
         return self.max_x - self.min_x
 
     @property
     def height(self) -> float:
+        """Vertical extent of the box."""
         return self.max_y - self.min_y
 
     @property
     def area(self) -> float:
+        """Area of the box."""
         return self.width * self.height
 
     @property
     def center(self) -> Point:
+        """Center point ``(x, y)`` of the box."""
         return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
 
     def contains(self, x: float, y: float) -> bool:

@@ -30,10 +30,12 @@ class CellAssignment:
 
     @property
     def num_data(self) -> int:
+        """Number of data objects assigned so far."""
         return len(self.data_objects)
 
     @property
     def num_features(self) -> int:
+        """Number of feature assignments performed so far."""
         return len(self.feature_objects)
 
 
@@ -58,6 +60,7 @@ class PartitioningStats:
 
     @property
     def duplication_factor(self) -> float:
+        """Mean number of cells each assigned feature was copied to."""
         if self.num_features == 0:
             return 1.0
         return self.num_feature_copies / self.num_features

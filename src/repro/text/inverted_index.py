@@ -94,6 +94,7 @@ class PositionalInvertedIndex(InvertedIndex):
         super().__init__(features)
 
     def add(self, feature: FeatureObject) -> None:
+        """Append one feature and index its keywords by storage position."""
         position = len(self)
         super().add(feature)
         for keyword in feature.keywords:

@@ -410,3 +410,186 @@ class TestExperimentsCommand:
         assert "Figure 7" in out
         assert "grid size" in out
         assert "espq-sco" in out
+
+
+class TestServeCommand:
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "400",
+              "--output", str(output)])
+        return output
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--input", "x.tsv"])
+        assert args.port == 8787
+        assert args.engines == 2
+        assert args.calibration_path is None
+        assert args.checkpoint_interval == 60.0
+
+    def test_parser_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--input", "x.tsv", "--algorithm", "bogus"]
+            )
+
+    def test_rejects_dataset_without_data_objects(self, tmp_path, capsys):
+        dataset = tmp_path / "features_only.tsv"
+        dataset.write_text("f1\t1.0\t2.0\titalian\n")
+        code = main(["serve", "--input", str(dataset), "--port", "0"])
+        assert code == 2
+        assert "no data objects" in capsys.readouterr().err
+
+    def test_rejects_bad_backend_combination(self, dataset_file, capsys):
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--backend", "serial", "--workers", "4",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_engines(self, dataset_file, capsys):
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--engines", "0",
+        ])
+        assert code == 2
+        assert "engines" in capsys.readouterr().err
+
+    def test_serve_startup_and_shutdown_in_process(
+        self, dataset_file, tmp_path, capsys, monkeypatch
+    ):
+        """The serve command's own path (bind, print, shut down, save)."""
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        calibration = tmp_path / "calibration.json"
+        argv = [
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--grid-size", "8", "--engines", "1",
+            "--calibration-path", str(calibration),
+            "--checkpoint-interval", "0",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "listening on http://127.0.0.1:" in captured.out
+        assert "calibration saved" in captured.out
+        assert "shutting down" in captured.err
+        assert calibration.exists()
+
+        # Seed a snapshot with observations: the next run reports a restore.
+        from repro.planner import Calibrator, save_calibration
+
+        calibrator = Calibrator()
+        calibrator.observe_work(
+            "pspq", (8, 0, 0, 1), raw_copies=10.0, raw_pairs=40.0,
+            actual_copies=8, actual_examined=8, actual_pairs=20,
+        )
+        save_calibration(str(calibration), calibrator)
+        assert main(argv) == 0
+        assert "calibration restored" in capsys.readouterr().out
+
+    def test_serve_warns_and_starts_cold_on_rejected_snapshot(
+        self, dataset_file, tmp_path, capsys, monkeypatch
+    ):
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        calibration = tmp_path / "calibration.json"
+        calibration.write_text("{truncated")
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--grid-size", "8", "--engines", "1",
+            "--calibration-path", str(calibration),
+            "--checkpoint-interval", "0",
+        ])
+        assert code == 0
+        assert "starting cold" in capsys.readouterr().err
+
+    def test_serve_lifecycle_and_calibration_restart(self, dataset_file, tmp_path):
+        """Full restart path via real processes: serve, query, SIGTERM,
+        serve again, verify the calibration snapshot was restored."""
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys as _sys
+        import time as _time
+        import urllib.error
+        import urllib.request
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_PLANNER", None)
+        calibration = tmp_path / "calibration.json"
+
+        def free_port() -> int:
+            with socket.socket() as sock:
+                sock.bind(("127.0.0.1", 0))
+                return sock.getsockname()[1]
+
+        def wait_healthy(port: int, process) -> None:
+            for _ in range(100):
+                assert process.poll() is None, process.stderr.read().decode()
+                try:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=1
+                    )
+                    return
+                except (urllib.error.URLError, OSError):
+                    _time.sleep(0.1)
+            raise AssertionError("server never became healthy")
+
+        def run_server(port: int):
+            return subprocess.Popen(
+                [_sys.executable, "-m", "repro", "serve",
+                 "--input", str(dataset_file), "--port", str(port),
+                 "--grid-size", "8", "--engines", "1",
+                 "--calibration-path", str(calibration),
+                 "--checkpoint-interval", "0"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+
+        port = free_port()
+        process = run_server(port)
+        try:
+            wait_healthy(port, process)
+            body = json.dumps({
+                "keywords": ["w0001"], "k": 3, "algorithm": "auto",
+            }).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query", data=body, method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                payload = json.loads(reply.read())
+            assert payload["planned_algorithm"]
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=20)
+        assert process.returncode == 0, err.decode()
+        assert "listening on" in out.decode()
+        assert "calibration saved" in out.decode()
+        assert calibration.exists()
+
+        port = free_port()
+        process = run_server(port)
+        try:
+            wait_healthy(port, process)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=5
+            ) as reply:
+                stats = json.loads(reply.read())
+            assert stats["planner"]["persistence"]["restored"] is True
+            assert stats["planner"]["calibration"]["observations"] > 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=20)
+        assert process.returncode == 0, err.decode()
+        assert "calibration restored" in out.decode()

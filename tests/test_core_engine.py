@@ -124,3 +124,87 @@ class TestEngineWorkers:
             data, features, config=EngineConfig(max_workers=4)
         ).execute(query, algorithm="espq-len", grid_size=8)
         assert threaded.scores() == pytest.approx(serial.scores())
+
+
+class TestEngineClose:
+    """Regression tests: close() is idempotent under the server's restart
+    path -- double-close and close-while-pooled must not raise."""
+
+    @pytest.fixture()
+    def engine(self, small_uniform_dataset):
+        data, features = small_uniform_dataset
+        return SPQEngine(
+            data, features, config=EngineConfig(backend="thread", workers=2)
+        )
+
+    def test_double_close(self, engine):
+        engine.execute(
+            SpatialPreferenceQuery.create(k=2, radius=2.0, keywords={"w0001"}),
+            grid_size=8,
+        )
+        engine.close()
+        engine.close()
+
+    def test_close_unused_engine(self, engine):
+        engine.close()
+        engine.close()
+
+    def test_close_then_reuse_then_close(self, engine):
+        query = SpatialPreferenceQuery.create(k=2, radius=2.0, keywords={"w0001"})
+        first = engine.execute(query, grid_size=8)
+        engine.close()
+        second = engine.execute(query, grid_size=8)  # backend recreated lazily
+        engine.close()
+        assert second.scores() == first.scores()
+
+    def test_concurrent_close_calls(self, engine):
+        import threading
+
+        engine.execute(
+            SpatialPreferenceQuery.create(k=2, radius=2.0, keywords={"w0001"}),
+            grid_size=8,
+        )
+        errors = []
+
+        def close() -> None:
+            try:
+                engine.close()
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_close_while_another_thread_queries(self, engine):
+        """A pooled engine closed mid-query: both sides must survive."""
+        import threading
+
+        query = SpatialPreferenceQuery.create(k=3, radius=2.0, keywords={"w0001"})
+        errors = []
+
+        def run_queries() -> None:
+            try:
+                for _ in range(5):
+                    engine.execute(query, grid_size=8)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        worker = threading.Thread(target=run_queries)
+        worker.start()
+        for _ in range(5):
+            engine.close()
+        worker.join()
+        engine.close()
+        assert not errors
+
+    def test_context_manager_exit_is_idempotent_with_close(
+        self, small_uniform_dataset
+    ):
+        data, features = small_uniform_dataset
+        with SPQEngine(data, features) as engine:
+            engine.close()
+        engine.close()

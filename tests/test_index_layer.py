@@ -200,6 +200,50 @@ class TestIndexCache:
         with pytest.raises(ValueError):
             IndexCache(capacity=0)
 
+    def test_concurrent_same_key_builds_once(self):
+        import threading
+
+        cache = IndexCache(capacity=4)
+        release = threading.Event()
+        builds = []
+
+        def slow_build():
+            builds.append(threading.current_thread().name)
+            release.wait(5)
+            return object()
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.get_or_build("k", slow_build))
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # Hits and builds of OTHER keys must not block behind the build.
+        other, hit = cache.get_or_build("other", self._entry)
+        assert hit is False
+        release.set()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1  # exactly one thread paid the build
+        values = {id(value) for value, _ in results}
+        assert len(values) == 1  # everyone got the same index
+        assert sum(1 for _, was_hit in results if not was_hit) == 1
+
+    def test_failed_build_releases_waiters(self):
+        cache = IndexCache(capacity=4)
+
+        def boom():
+            raise RuntimeError("build failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", boom)
+        # The latch was cleaned up: the next caller builds fresh.
+        value, hit = cache.get_or_build("k", self._entry)
+        assert hit is False and value is not None
+
 
 class TestPlanner:
     def test_groups_by_grid_and_mode_preserving_positions(self):

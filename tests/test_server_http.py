@@ -1,0 +1,278 @@
+"""Tests for the stdlib HTTP front-end of the query service."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import EngineConfig, SPQEngine
+from repro.model.query import SpatialPreferenceQuery
+from repro.server import QueryService, ServiceConfig, make_server
+
+GRID = 10
+
+
+@pytest.fixture()
+def live_server(small_uniform_dataset):
+    """A started service behind a real HTTP server on an ephemeral port."""
+    data, features = small_uniform_dataset
+    service = QueryService(
+        data,
+        features,
+        engine_config=EngineConfig(grid_size=GRID),
+        config=ServiceConfig(engines=1, default_grid_size=GRID),
+    )
+    with service:
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield service, f"http://127.0.0.1:{server.port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+
+
+def get(url: str):
+    with urllib.request.urlopen(url) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def post(url: str, body: bytes):
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request) as reply:
+        return reply.status, reply.read()
+
+
+def post_json(url: str, spec: dict):
+    status, raw = post(url, json.dumps(spec).encode("utf-8"))
+    return status, json.loads(raw)
+
+
+def http_error(callable_, *args):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_(*args)
+    error = excinfo.value
+    return error.code, json.loads(error.read())
+
+
+class TestQueryEndpoint:
+    def test_matches_offline_execute(self, live_server, small_uniform_dataset):
+        _, url = live_server
+        data, features = small_uniform_dataset
+        status, payload = post_json(
+            f"{url}/query", {"keywords": ["w0001"], "k": 5, "radius": 2.0}
+        )
+        assert status == 200
+        with SPQEngine(data, features) as engine:
+            offline = engine.execute(
+                SpatialPreferenceQuery.create(k=5, radius=2.0, keywords={"w0001"}),
+                algorithm="espq-sco",
+                grid_size=GRID,
+            )
+        assert [(e["oid"], e["score"]) for e in payload["results"]] == [
+            (e.obj.oid, e.score) for e in offline
+        ]
+
+    def test_repeat_is_cache_hit(self, live_server):
+        _, url = live_server
+        spec = {"keywords": ["w0002"], "k": 3, "radius": 2.0}
+        _, first = post_json(f"{url}/query", spec)
+        _, second = post_json(f"{url}/query", spec)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["results"] == first["results"]
+
+    def test_auto_with_stats(self, live_server):
+        _, url = live_server
+        status, payload = post_json(f"{url}/query", {
+            "keywords": ["w0003"], "k": 3, "radius": 2.0,
+            "algorithm": "auto", "stats": True,
+        })
+        assert status == 200
+        assert payload["planned_algorithm"] in ("pspq", "espq-len", "espq-sco")
+        assert "planner_estimates" in payload["stats"]
+
+    def test_invalid_json_is_400(self, live_server):
+        _, url = live_server
+        code, payload = http_error(post, f"{url}/query", b"{not json")
+        assert code == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_unknown_field_is_400(self, live_server):
+        _, url = live_server
+        code, payload = http_error(
+            post, f"{url}/query", json.dumps({"keyword": ["x"]}).encode()
+        )
+        assert code == 400
+        assert "unknown request field" in payload["error"]
+
+    def test_invalid_combination_is_400(self, live_server):
+        _, url = live_server
+        code, payload = http_error(post, f"{url}/query", json.dumps({
+            "keywords": ["w0001"], "algorithm": "espq-len",
+            "score_mode": "influence",
+        }).encode())
+        assert code == 400
+        assert "score mode" in payload["error"]
+
+    def test_oversized_body_is_400(self, live_server):
+        from repro.server.http import MAX_BODY_BYTES
+
+        _, url = live_server
+        request = urllib.request.Request(
+            f"{url}/query", data=b"{}", method="POST",
+            headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_survives_bad_requests(self, live_server):
+        _, url = live_server
+        for _ in range(3):
+            http_error(post, f"{url}/query", b"garbage")
+        status, payload = post_json(
+            f"{url}/query", {"keywords": ["w0001"], "k": 2, "radius": 2.0}
+        )
+        assert status == 200
+        assert payload["results"] is not None
+
+
+class TestBatchEndpoint:
+    def test_jsonl_in_jsonl_out(self, live_server):
+        _, url = live_server
+        body = (
+            b'{"keywords": ["w0001"], "k": 2, "radius": 2.0}\n'
+            b"# a comment line\n"
+            b'{"keywords": ["w0002"], "k": 2, "radius": 2.0, "algorithm": "auto"}\n'
+        )
+        status, raw = post(f"{url}/batch", body)
+        assert status == 200
+        lines = [json.loads(line) for line in raw.decode().strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["keywords"] == ["w0001"]
+        assert "planned_algorithm" in lines[1]
+
+    def test_json_array_accepted(self, live_server):
+        _, url = live_server
+        body = json.dumps([
+            {"keywords": ["w0001"], "k": 2, "radius": 2.0},
+            {"keywords": ["w0003"], "k": 2, "radius": 2.0},
+        ]).encode()
+        status, raw = post(f"{url}/batch", body)
+        assert status == 200
+        assert len(raw.decode().strip().splitlines()) == 2
+
+    def test_batch_validated_up_front(self, live_server):
+        _, url = live_server
+        body = (
+            b'{"keywords": ["w0001"], "k": 2, "radius": 2.0}\n'
+            b'{"keywords": [], "k": 2}\n'
+        )
+        code, payload = http_error(post, f"{url}/batch", body)
+        assert code == 400
+        assert "keywords" in payload["error"]
+
+    def test_empty_body_is_400(self, live_server):
+        _, url = live_server
+        code, payload = http_error(post, f"{url}/batch", b"")
+        assert code == 400
+        assert "empty batch body" in payload["error"]
+
+    def test_bad_line_is_400(self, live_server):
+        _, url = live_server
+        code, payload = http_error(post, f"{url}/batch", b"{oops\n")
+        assert code == 400
+        assert "line 1" in payload["error"]
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, live_server):
+        _, url = live_server
+        status, payload = get(f"{url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_stats_counters(self, live_server):
+        service, url = live_server
+        spec = {"keywords": ["w0004"], "k": 2, "radius": 2.0}
+        post_json(f"{url}/query", spec)
+        post_json(f"{url}/query", spec)
+        status, stats = get(f"{url}/stats")
+        assert status == 200
+        assert stats["requests"]["submitted"] == 2
+        assert stats["requests"]["result_cache_hits"] == 1
+        assert stats["result_cache"]["hits"] == 1
+        assert stats["index_cache"]["misses"] == 1
+        assert stats["planner"]["mode"] == "on"
+        assert stats["planner"]["persistence"]["path"] is None
+        assert stats["batching"]["batches"] == 1
+        assert stats["engines"]["count"] == 1
+        assert stats["dataset"]["version"] == 0
+
+    def test_unknown_path_is_404(self, live_server):
+        _, url = live_server
+        code, payload = http_error(get, f"{url}/nope")
+        assert code == 404
+        assert "unknown path" in payload["error"]
+
+    def test_wrong_methods_are_405(self, live_server):
+        _, url = live_server
+        code, _ = http_error(get, f"{url}/query")
+        assert code == 405
+        code, _ = http_error(post, f"{url}/stats", b"{}")
+        assert code == 405
+
+    def test_error_responses_close_the_connection(self, live_server):
+        """Keep-alive clients must not desync after an undrained error."""
+        import http.client
+
+        _, url = live_server
+        host, port = url.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=5)
+        try:
+            # 405 without the body being read by the server...
+            connection.request("POST", "/stats", body=b'{"x": 1}')
+            response = connection.getresponse()
+            assert response.status == 405
+            assert response.getheader("Connection") == "close"
+            response.read()
+            # ...so the follow-up must transparently reconnect and succeed.
+            connection.request(
+                "POST", "/query",
+                body=json.dumps(
+                    {"keywords": ["w0001"], "k": 2, "radius": 2.0}
+                ).encode(),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["results"] is not None
+        finally:
+            connection.close()
+
+    def test_concurrent_clients(self, live_server):
+        _, url = live_server
+        errors = []
+
+        def hit(index: int) -> None:
+            try:
+                status, payload = post_json(f"{url}/query", {
+                    "keywords": [f"w00{30 + index}"], "k": 2, "radius": 2.0,
+                })
+                assert status == 200
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
