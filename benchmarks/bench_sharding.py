@@ -1,0 +1,413 @@
+"""Sharded scatter-gather gates: identity, 4-shard throughput, hot swap.
+
+Three checks over the shard router (``src/repro/sharding/``):
+
+1. **Identity** -- every response of a 4-shard router is bit-for-bit
+   identical (oids and scores) to offline ``SPQEngine.execute`` on a fresh
+   unsharded engine, across all three MapReduce algorithms, ``auto`` and
+   zero-match queries (the bench grid is shard-aligned, where the identity
+   contract covers tie composition too -- see ``docs/sharding.md``).
+2. **Throughput** -- under concurrent clients, 4 process-backed shards must
+   clear ``--min-speedup`` (default 1.5x) over 1 shard of the same
+   configuration.  Sharding splits every query's reduce work four ways
+   across four worker processes, so the gain is intra-query parallelism
+   free of the GIL.  The gate auto-skips on single-core machines.
+3. **Hot swap** -- a ``swap_datasets`` fired into sustained concurrent
+   client load must lose no in-flight request: every response is
+   bit-for-bit valid against the pre- or post-swap dataset, no request
+   fails, and the first post-swap probe serves the new dataset.
+
+Run it as::
+
+    python benchmarks/bench_sharding.py                  # report only
+    python benchmarks/bench_sharding.py --check          # exit 1 on any gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.engine import EngineConfig, SPQEngine
+from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+from repro.execution import execution_info
+from repro.model.query import SpatialPreferenceQuery
+from repro.server import ServiceConfig
+from repro.sharding import ShardRouter, ShardingConfig
+
+Entry = Tuple[str, float]
+
+
+def reference_results(
+    data, features, specs: Sequence[Dict[str, object]], grid_size: int
+) -> List[List[Entry]]:
+    """Per-spec (oid, score) oracle from a fresh unsharded engine."""
+    results: List[List[Entry]] = []
+    with SPQEngine(data, features, config=EngineConfig(grid_size=grid_size)) as engine:
+        for spec in specs:
+            query = SpatialPreferenceQuery.create(
+                k=spec["k"], radius=spec["radius"], keywords=set(spec["keywords"])
+            )
+            result = engine.execute(
+                query, algorithm=spec.get("algorithm", "espq-sco"),
+                grid_size=grid_size,
+            )
+            results.append([(entry.obj.oid, entry.score) for entry in result])
+    return results
+
+
+def response_entries(response: Dict[str, object]) -> List[Entry]:
+    """The (oid, score) list of one router response."""
+    return [(entry["oid"], entry["score"]) for entry in response["results"]]
+
+
+def make_router(
+    data, features, shards: int, grid_size: int,
+    backend: str = None, workers: int = None, result_cache: int = 0,
+) -> ShardRouter:
+    """A router with per-shard single-engine services over ``grid_size`` grids."""
+    return ShardRouter(
+        data,
+        features,
+        engine_config=EngineConfig(
+            grid_size=grid_size, backend=backend, workers=workers
+        ),
+        service_config=ServiceConfig(
+            engines=1,
+            result_cache_capacity=result_cache,
+            default_grid_size=grid_size,
+        ),
+        sharding=ShardingConfig(shards=shards),
+    )
+
+
+# --------------------------------------------------------------------- #
+# phase 1: identity
+
+def identity_specs(keyword_sets: int, seed: int) -> List[Dict[str, object]]:
+    """Mixed-algorithm workload including zero-match and multi-keyword specs."""
+    import random
+
+    rng = random.Random(seed)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(keyword_sets)]
+    specs: List[Dict[str, object]] = []
+    for index, algorithm in enumerate(("pspq", "espq-len", "espq-sco", "auto")):
+        for offset, radius in enumerate((2.0, 3.0)):
+            specs.append({
+                "keywords": [pool[(index + offset) % len(pool)]],
+                "k": 5 + 5 * offset,
+                "radius": radius,
+                "algorithm": algorithm,
+            })
+        specs.append({
+            "keywords": [pool[index % len(pool)], pool[(index + 1) % len(pool)]],
+            "k": 10,
+            "radius": 2.0,
+            "algorithm": algorithm,
+        })
+    specs.append({
+        "keywords": ["zz-no-such-keyword"], "k": 5, "radius": 2.0,
+        "algorithm": "espq-sco",
+    })
+    return specs
+
+
+def run_identity_phase(
+    data, features, grid_size: int, shards: int, seed: int
+) -> Dict[str, object]:
+    """4-shard router responses vs the unsharded oracle, bit-for-bit."""
+    specs = identity_specs(keyword_sets=6, seed=seed)
+    expected = reference_results(data, features, specs, grid_size)
+    mismatches = 0
+    with make_router(data, features, shards, grid_size) as router:
+        aligned = router.plan.grid_aligned(grid_size)
+        for spec, want in zip(specs, expected):
+            response = router.submit(spec)
+            if response_entries(response) != want:
+                mismatches += 1
+    return {
+        "num_specs": len(specs),
+        "shards": shards,
+        "grid_size": grid_size,
+        "grid_aligned": aligned,
+        "mismatches": mismatches,
+        "identical_results": mismatches == 0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# phase 2: throughput (4 shards vs 1)
+
+def drive_concurrent(
+    router: ShardRouter, specs: Sequence[Dict[str, object]], client_threads: int
+) -> float:
+    """Wall seconds to serve every spec from ``client_threads`` clients."""
+    with concurrent.futures.ThreadPoolExecutor(client_threads) as pool:
+        started = time.perf_counter()
+        list(pool.map(router.submit, specs))
+        return time.perf_counter() - started
+
+
+def run_throughput_phase(
+    data, features, grid_size: int, shards: int, requests: int,
+    client_threads: int, seed: int, min_cores: int = 2,
+) -> Dict[str, object]:
+    """Warm throughput of ``shards`` process-backed shards vs one."""
+    import random
+
+    rng = random.Random(seed)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(8)]
+    specs = [
+        {
+            "keywords": [pool[i % len(pool)]],
+            "k": 10,
+            "radius": (2.0, 3.0)[i % 2],
+        }
+        for i in range(requests)
+    ]
+    cores = os.cpu_count() or 1
+    if cores < min_cores:
+        return {
+            "skipped": True,
+            "reason": f"{cores}-core machine (gate needs >= {min_cores})",
+        }
+
+    timings: Dict[str, float] = {}
+    for label, num_shards in (("one_shard", 1), ("sharded", shards)):
+        with make_router(
+            data, features, num_shards, grid_size,
+            backend="process", workers=1,
+        ) as router:
+            drive_concurrent(router, specs[: max(4, len(specs) // 4)],
+                             client_threads)  # warm indexes + pools
+            timings[label] = drive_concurrent(router, specs, client_threads)
+    return {
+        "skipped": False,
+        "cores": cores,
+        "shards": shards,
+        "requests": len(specs),
+        "client_threads": client_threads,
+        "one_shard_seconds": timings["one_shard"],
+        "sharded_seconds": timings["sharded"],
+        "speedup": (
+            timings["one_shard"] / timings["sharded"]
+            if timings["sharded"] else float("inf")
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# phase 3: hot swap under load
+
+def run_hot_swap_phase(
+    data_a, features_a, data_b, features_b, grid_size: int, shards: int,
+    client_threads: int, seed: int,
+) -> Dict[str, object]:
+    """Swap A -> B under sustained concurrent load; count losses.
+
+    Every client response must match the A- or B-oracle for its spec:
+    requests in flight across the swap may legitimately see either
+    snapshot, but never an error, a timeout or a mixed result.
+    """
+    import random
+
+    rng = random.Random(seed)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(6)]
+    specs = [
+        {"keywords": [word], "k": 5, "radius": radius}
+        for word in pool for radius in (2.0, 3.0)
+    ]
+    ref_a = reference_results(data_a, features_a, specs, grid_size)
+    ref_b = reference_results(data_b, features_b, specs, grid_size)
+    references = [
+        {tuple(map(tuple, a)), tuple(map(tuple, b))}
+        for a, b in zip(ref_a, ref_b)
+    ]
+
+    issued = 0
+    completed = 0
+    invalid = 0
+    errors: List[str] = []
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    router = make_router(
+        data_a, features_a, shards, grid_size, result_cache=64
+    )
+
+    def client(worker: int) -> None:
+        nonlocal issued, completed, invalid
+        local_rng = random.Random(seed + worker)
+        while not stop.is_set():
+            index = local_rng.randrange(len(specs))
+            with lock:
+                issued += 1
+            try:
+                response = router.submit(specs[index])
+            except Exception as exc:  # noqa: BLE001 - counted as a loss
+                with lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            entries = tuple(response_entries(response))
+            with lock:
+                completed += 1
+                if entries not in references[index]:
+                    invalid += 1
+
+    with router:
+        threads = [
+            threading.Thread(target=client, args=(worker,))
+            for worker in range(client_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # sustained pre-swap load
+        swap_started = time.perf_counter()
+        router.swap_datasets(data_b, features_b)
+        swap_seconds = time.perf_counter() - swap_started
+        time.sleep(0.4)  # sustained post-swap load
+        stop.set()
+        for thread in threads:
+            thread.join()
+        post_swap = tuple(response_entries(router.submit(specs[0])))
+        post_swap_correct = post_swap == tuple(map(tuple, ref_b[0]))
+        version = router.dataset_info()["version"]
+
+    return {
+        "shards": shards,
+        "client_threads": client_threads,
+        "issued": issued,
+        "completed": completed,
+        "failed": len(errors),
+        "invalid_responses": invalid,
+        "errors": errors[:5],
+        "swap_seconds": swap_seconds,
+        "post_swap_version": version,
+        "post_swap_serves_new_dataset": post_swap_correct,
+        "lost_requests": issued - completed,
+    }
+
+
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=20_000)
+    parser.add_argument("--grid-size", type=int, default=12,
+                        help="query grid (12 is aligned with the 2x2 shard layout)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=24,
+                        help="throughput-phase request count")
+    parser.add_argument("--client-threads", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--json", default=None, help="write the summary JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every gate passes")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--min-cores", type=int, default=2,
+                        help="skip the speedup gate below this many CPUs")
+    args = parser.parse_args(argv)
+
+    data, features = generate_uniform(
+        SyntheticDatasetConfig(num_objects=args.objects, seed=args.seed)
+    )
+    data_b, features_b = generate_uniform(
+        SyntheticDatasetConfig(num_objects=args.objects // 2, seed=args.seed + 1)
+    )
+
+    print(f"dataset: {args.objects} objects, grid {args.grid_size}, "
+          f"{args.shards} shards")
+    identity = run_identity_phase(
+        data, features, args.grid_size, args.shards, args.seed
+    )
+    print(f"identity phase: {identity['num_specs']} specs, aligned="
+          f"{identity['grid_aligned']}, identical="
+          f"{identity['identical_results']}")
+
+    throughput = run_throughput_phase(
+        data, features, args.grid_size, args.shards, args.requests,
+        args.client_threads, args.seed, min_cores=args.min_cores,
+    )
+    if throughput.get("skipped"):
+        print(f"throughput phase: skipped ({throughput['reason']})")
+    else:
+        print(f"throughput phase: 1 shard {throughput['one_shard_seconds']:.2f}s "
+              f"vs {args.shards} shards {throughput['sharded_seconds']:.2f}s "
+              f"-> {throughput['speedup']:.2f}x on {throughput['cores']} cores")
+
+    hot_swap = run_hot_swap_phase(
+        data, features, data_b, features_b, args.grid_size,
+        min(args.shards, 2), args.client_threads, args.seed,
+    )
+    print(f"hot-swap phase: {hot_swap['completed']}/{hot_swap['issued']} served, "
+          f"{hot_swap['failed']} failed, {hot_swap['invalid_responses']} invalid, "
+          f"swap {hot_swap['swap_seconds'] * 1000:.0f}ms, post-swap new dataset="
+          f"{hot_swap['post_swap_serves_new_dataset']}")
+
+    summary = {
+        "execution": execution_info(),
+        "workload": {
+            "objects": args.objects,
+            "grid_size": args.grid_size,
+            "shards": args.shards,
+            "requests": args.requests,
+            "client_threads": args.client_threads,
+            "seed": args.seed,
+        },
+        "identity": identity,
+        "throughput": throughput,
+        "hot_swap": hot_swap,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.check:
+        failures = []
+        if not identity["identical_results"]:
+            failures.append(
+                f"{identity['mismatches']} sharded responses differ from the "
+                "unsharded engine"
+            )
+        if not throughput.get("skipped") and (
+            throughput["speedup"] < args.min_speedup
+        ):
+            failures.append(
+                f"sharded speedup {throughput['speedup']:.2f}x below required "
+                f"{args.min_speedup}x"
+            )
+        if hot_swap["failed"] or hot_swap["lost_requests"]:
+            failures.append(
+                f"hot swap lost requests: {hot_swap['failed']} failed, "
+                f"{hot_swap['lost_requests']} unanswered"
+            )
+        if hot_swap["invalid_responses"]:
+            failures.append(
+                f"{hot_swap['invalid_responses']} responses matched neither the "
+                "pre- nor post-swap dataset"
+            )
+        if not hot_swap["post_swap_serves_new_dataset"]:
+            failures.append("post-swap probe still served the old dataset")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        speedup_note = (
+            "skipped"
+            if throughput.get("skipped")
+            else f"{throughput['speedup']:.2f}x >= {args.min_speedup}x"
+        )
+        print(f"OK: identical results, throughput {speedup_note}, "
+              f"hot swap lost nothing")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

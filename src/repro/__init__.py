@@ -28,12 +28,17 @@ from repro.model import (
     SpatialPreferenceQuery,
     TopKList,
 )
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
-#: Lazily exported names (PEP 562): the query service pulls in the whole
-#: HTTP server stack, which `repro generate`, plain engine use, and every
-#: process-backend worker spawn should not pay for.
-_LAZY_EXPORTS = {"QueryService": "repro.server", "ServiceConfig": "repro.server"}
+#: Lazily exported names (PEP 562): the query service and shard router pull
+#: in the whole HTTP server stack, which `repro generate`, plain engine use,
+#: and every process-backend worker spawn should not pay for.
+_LAZY_EXPORTS = {
+    "QueryService": "repro.server",
+    "ServiceConfig": "repro.server",
+    "ShardRouter": "repro.sharding",
+    "ShardingConfig": "repro.sharding",
+}
 
 
 def __getattr__(name: str):
@@ -63,6 +68,8 @@ __all__ = [
     "FeatureObject",
     "QueryService",
     "ServiceConfig",
+    "ShardRouter",
+    "ShardingConfig",
     "SpatialPreferenceQuery",
     "ScoredObject",
     "TopKList",

@@ -367,6 +367,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not data:
         print("error: dataset contains no data objects", file=sys.stderr)
         return 2
+    sharded = args.shards > 1
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.max_radius is not None and not sharded:
+        print(
+            "warning: --max-radius only affects sharded serving "
+            "(--shards > 1); ignored",
+            file=sys.stderr,
+        )
     try:
         engine_config = _engine_config(args, grid_size=args.grid_size)
         service_config = ServiceConfig(
@@ -382,9 +392,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_algorithm=args.algorithm,
             default_grid_size=args.grid_size,
         )
-        service = QueryService(
-            data, features, engine_config=engine_config, config=service_config
-        )
+        if sharded:
+            from repro.sharding import ShardRouter, ShardingConfig
+
+            service = ShardRouter(
+                data,
+                features,
+                engine_config=engine_config,
+                service_config=service_config,
+                sharding=ShardingConfig(
+                    shards=args.shards, max_radius=args.max_radius
+                ),
+            )
+        else:
+            service = QueryService(
+                data, features, engine_config=engine_config, config=service_config
+            )
     except (ValueError, InvalidQueryError, JobConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -396,16 +419,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
 
-    if args.calibration_path and service.planner is None:
+    if not sharded and args.calibration_path and service.planner is None:
         print(
             "warning: --calibration-path is ignored because the planner is "
             "disabled (planner_mode / $REPRO_PLANNER is 'off'); calibration "
             "will be neither restored nor saved",
             file=sys.stderr,
         )
+    if sharded and args.calibration_path:
+        print(
+            f"calibration snapshots are per shard: "
+            f"{args.calibration_path}.shard0 .. "
+            f".shard{args.shards - 1}"
+        )
     service.start()
     stats = service.stats()
-    persistence = stats["planner"].get("persistence") if args.calibration_path else None
+    persistence = (
+        stats["planner"].get("persistence")
+        if args.calibration_path and not sharded
+        else None
+    )
     if persistence and persistence["rejected"]:
         print(
             f"warning: calibration snapshot rejected, starting cold: "
@@ -417,12 +450,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"calibration restored from {args.calibration_path} "
             f"({stats['planner']['calibration']['observations']} observations)"
         )
+    shard_note = f", {args.shards} shards" if sharded else ""
     print(
         f"repro serve: listening on http://{args.host}:{server.port}  "
         f"({len(data)} data objects, {len(features)} feature objects, "
-        f"{args.engines} engines)"
+        f"{args.engines} engines{shard_note})"
     )
-    print("endpoints: POST /query  POST /batch  GET /healthz  GET /stats")
+    print(
+        "endpoints: POST /query  POST /batch  POST /datasets  "
+        "GET /healthz  GET /stats"
+    )
     sys.stdout.flush()
 
     def _request_stop(signum: int, frame: object) -> None:
@@ -448,7 +485,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.shutdown()
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
-    if args.calibration_path and service.planner is not None:
+    if args.calibration_path and not sharded and service.planner is not None:
         save_error = service.stats()["planner"]["persistence"]["last_error"]
         if save_error:
             print(
@@ -582,7 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8787,
                        help="TCP port (0 binds an ephemeral port, printed on start)")
     serve.add_argument("--engines", type=int, default=2,
-                       help="warm engine-pool size = micro-batch dispatcher threads")
+                       help="warm engine-pool size = micro-batch dispatcher threads "
+                            "(per shard when --shards > 1)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="spatial shards: partition the dataset into N disjoint "
+                            "extent slices, one query service per shard, "
+                            "scatter-gather merge (1 = unsharded)")
+    serve.add_argument("--max-radius", type=float, default=None,
+                       help="with --shards > 1: largest query radius served exactly "
+                            "(bounds cross-shard feature replication; queries above "
+                            "it are rejected; default: unbounded, features "
+                            "replicated to every shard)")
     serve.add_argument("--max-batch", type=int, default=8,
                        help="largest micro-batch per execute_many call")
     serve.add_argument("--batch-window-ms", type=float, default=0.0,

@@ -409,10 +409,35 @@ class SPQEngine:
         self,
         data_objects: Sequence[DataObject],
         feature_objects: Sequence[FeatureObject],
+        extent: Optional[BoundingBox] = None,
     ) -> None:
-        """Replace both datasets and invalidate every derived structure."""
+        """Replace both datasets and invalidate every derived structure.
+
+        Args:
+            data_objects: The new object dataset ``O``.
+            feature_objects: The new feature dataset ``F``.
+            extent: New explicit grid extent.  Sharded deployments pass the
+                *full* dataset extent here so every shard engine keeps laying
+                its query grids over the same space as an unsharded engine
+                (cell-for-cell alignment is what makes scatter-gather results
+                identical).  ``None`` keeps the engine's current extent
+                policy: an explicit construction-time extent stays, a lazily
+                computed one is re-derived from the new datasets.
+
+        Raises:
+            InvalidQueryError: for an explicit degenerate ``extent``.
+        """
+        if extent is not None and (extent.width <= 0 or extent.height <= 0):
+            raise InvalidQueryError(
+                f"explicit engine extent is degenerate ({extent.width} x "
+                f"{extent.height}); a query-time grid needs positive width "
+                "and height"
+            )
         self.data_objects = list(data_objects)
         self.feature_objects = list(feature_objects)
+        if extent is not None:
+            self._extent = extent
+            self._explicit_extent = True
         self.invalidate_indexes()
 
     def get_index(self, grid_size: Optional[int] = None) -> DatasetIndex:

@@ -13,6 +13,7 @@ See ``docs/service.md`` for the quickstart and protocol reference.
 from repro.server.batching import MicroBatcher, PendingRequest
 from repro.server.cache import ResultCache, ResultCacheStats
 from repro.server.http import QueryHTTPServer, make_server
+from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import (
     ParsedRequest,
     RequestDefaults,
@@ -22,6 +23,7 @@ from repro.server.protocol import (
 from repro.server.service import QueryService, ServiceConfig
 
 __all__ = [
+    "LatencyHistogram",
     "MicroBatcher",
     "ParsedRequest",
     "PendingRequest",

@@ -2,12 +2,24 @@
 
 Endpoints (see ``docs/service.md`` for the full protocol reference):
 
-* ``POST /query``   -- one request object in, one response object out.
-* ``POST /batch``   -- JSONL (or a JSON array) in, JSONL out; the whole
+* ``POST /query``    -- one request object in, one response object out.
+* ``POST /batch``    -- JSONL (or a JSON array) in, JSONL out; the whole
   batch is validated before any query runs, mirroring ``execute_many``.
-* ``GET /healthz``  -- liveness: ``{"status": "ok"}`` plus uptime.
-* ``GET /stats``    -- the service's full counter tree (requests, batching,
-  result/index caches, planner decisions and calibration persistence).
+* ``POST /datasets`` -- hot-swap the served dataset: quiesces in-flight
+  batches, swaps (and, when sharded, repartitions) atomically, and
+  invalidates result caches by dataset version.  Body: ``{"path": ...}``
+  (a dataset file the server loads) or inline ``{"data_objects": [...],
+  "feature_objects": [...]}`` object lists.
+* ``GET /healthz``   -- liveness: ``{"status": "ok"}`` plus uptime.
+* ``GET /stats``     -- the service's full counter tree (requests, latency
+  histograms, batching, result/index caches, planner persistence and --
+  when sharded -- the router + per-shard subtrees).
+
+The bound service is either a :class:`~repro.server.service.QueryService`
+or a :class:`~repro.sharding.router.ShardRouter` (``repro serve
+--shards N``); both expose the same serving surface (``submit``,
+``submit_many``, ``stats``, ``uptime_seconds``, ``swap_datasets``), so the
+handler never branches on which it is.
 
 Built on :class:`http.server.ThreadingHTTPServer` -- one thread per
 connection, no third-party dependencies -- which is exactly what the
@@ -81,17 +93,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             })
         elif self.path == "/stats":
             self._send_json(200, self.server.service.stats())
-        elif self.path in ("/query", "/batch"):
+        elif self.path in ("/query", "/batch", "/datasets"):
             self._send_json(405, error_payload(f"use POST for {self.path}"))
         else:
             self._send_json(404, error_payload(f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Serve ``/query`` and ``/batch``."""
+        """Serve ``/query``, ``/batch`` and ``/datasets``."""
         if self.path == "/query":
             self._handle_query()
         elif self.path == "/batch":
             self._handle_batch()
+        elif self.path == "/datasets":
+            self._handle_datasets()
         elif self.path in ("/healthz", "/stats"):
             self._send_json(405, error_payload(f"use GET for {self.path}"))
         else:
@@ -137,6 +151,30 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
             return
         self._send_text(200, batch_lines(payloads), "application/x-ndjson")
+
+    def _handle_datasets(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            spec = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, error_payload(f"invalid JSON: {exc}"))
+            return
+        try:
+            data, features = _parse_dataset_spec(spec)
+        except ValueError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        try:
+            info = self.server.service.swap_datasets(data, features)
+        except ReproError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
+            return
+        self._send_json(200, {"status": "ok", "dataset": info})
 
     @staticmethod
     def _parse_batch_body(body: bytes) -> List[Mapping[str, object]]:
@@ -202,6 +240,77 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         """Access logging, silenced by default (``quiet=False`` restores it)."""
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
+
+
+def _parse_dataset_spec(spec: object) -> Tuple[List, List]:
+    """Resolve a ``POST /datasets`` body into (data objects, feature objects).
+
+    Two body shapes are accepted:
+
+    * ``{"path": "file.tsv"}`` -- a dataset file in the ``repro generate``
+      text format, loaded server-side (the operational path: generate or
+      copy the file next to the server, then swap);
+    * ``{"data_objects": [{"oid", "x", "y"}, ...],
+      "feature_objects": [{"oid", "x", "y", "keywords": [...]}, ...]}`` --
+      inline object lists (the programmatic path, practical for tests and
+      small datasets).
+
+    Raises:
+        ValueError: for a structurally invalid body, an unreadable or
+            malformed dataset file, or a dataset without data objects.
+    """
+    from repro.datagen.io import load_dataset
+    from repro.exceptions import DatasetFormatError
+    from repro.model.objects import DataObject, FeatureObject
+
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"body must be a JSON object, got {type(spec).__name__}")
+    unknown = set(spec) - {"path", "data_objects", "feature_objects"}
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)}; expected 'path' or "
+            "'data_objects' + 'feature_objects'"
+        )
+    if "path" in spec:
+        if "data_objects" in spec or "feature_objects" in spec:
+            raise ValueError("'path' and inline object lists are mutually exclusive")
+        path = spec["path"]
+        if not isinstance(path, str) or not path:
+            raise ValueError(f"'path' must be a non-empty string, got {path!r}")
+        try:
+            data, features = load_dataset(path)
+        except OSError as exc:
+            raise ValueError(f"cannot read dataset file: {exc}") from exc
+        except DatasetFormatError as exc:
+            raise ValueError(f"malformed dataset file: {exc}") from exc
+    else:
+        raw_data = spec.get("data_objects")
+        raw_features = spec.get("feature_objects", [])
+        if not isinstance(raw_data, list) or not isinstance(raw_features, list):
+            raise ValueError(
+                "'data_objects' and 'feature_objects' must be lists of objects"
+            )
+        try:
+            data = [
+                DataObject(oid=str(obj["oid"]), x=float(obj["x"]), y=float(obj["y"]))
+                for obj in raw_data
+            ]
+            features = [
+                FeatureObject(
+                    oid=str(obj["oid"]),
+                    x=float(obj["x"]),
+                    y=float(obj["y"]),
+                    keywords=frozenset(
+                        str(word) for word in obj.get("keywords", [])
+                    ),
+                )
+                for obj in raw_features
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed inline object: {exc}") from exc
+    if not data:
+        raise ValueError("dataset contains no data objects")
+    return data, features
 
 
 def make_server(

@@ -1,0 +1,128 @@
+"""Serving metrics: thread-safe per-request latency histograms.
+
+One :class:`LatencyHistogram` records the end-to-end latency of every
+served request into fixed logarithmic buckets (powers of two from 0.25 ms
+up to ~16 s, plus an overflow bucket), the way production servers export
+latency to their monitoring stack.  Fixed buckets keep recording O(1) and
+lock-cheap -- one increment under a short lock -- so a histogram can sit on
+the hot path of `QueryService.submit` and `ShardRouter.submit` without
+skewing what it measures.
+
+Percentiles are estimated from the bucket counts (each bucket reports its
+upper bound), which is exactly the resolution the bucket layout promises:
+good enough to spot a p99 regression, cheap enough to compute inside
+``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+#: Bucket upper bounds in seconds: 0.25 ms, 0.5 ms, 1 ms, ... ~16.4 s.
+#: Latencies above the last bound land in the overflow bucket.
+BUCKET_BOUNDS_SECONDS = tuple(0.00025 * (2.0 ** i) for i in range(17))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with summary statistics.
+
+    Thread-safe: any number of serving threads may :meth:`record`
+    concurrently while another thread takes a :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(BUCKET_BOUNDS_SECONDS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one request latency (negative values clamp to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @staticmethod
+    def _bucket_index(seconds: float) -> int:
+        for index, bound in enumerate(BUCKET_BOUNDS_SECONDS):
+            if seconds <= bound:
+                return index
+        return len(BUCKET_BOUNDS_SECONDS)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded requests."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Estimated latency (seconds) at ``fraction`` (e.g. 0.99 for p99).
+
+        Returns the upper bound of the bucket containing that rank (the
+        recorded maximum for the overflow bucket), or None while empty.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        with self._lock:
+            return self._percentile_from(
+                self._counts, self._count, self._max, fraction
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: count, mean/max and estimated percentiles.
+
+        Bucket counts are reported with their upper bounds in milliseconds
+        (``"le_ms"``); empty buckets are omitted to keep ``/stats`` small.
+        """
+        with self._lock:
+            count = self._count
+            total = self._sum
+            maximum = self._max
+            counts = list(self._counts)
+        buckets: List[Dict[str, object]] = []
+        for index, bucket_count in enumerate(counts):
+            if not bucket_count:
+                continue
+            if index < len(BUCKET_BOUNDS_SECONDS):
+                le_ms: object = round(BUCKET_BOUNDS_SECONDS[index] * 1000.0, 3)
+            else:
+                le_ms = "inf"
+            buckets.append({"le_ms": le_ms, "count": bucket_count})
+        summary: Dict[str, object] = {
+            "count": count,
+            "mean_ms": (total / count) * 1000.0 if count else 0.0,
+            "max_ms": maximum * 1000.0,
+            "buckets": buckets,
+        }
+        for label, fraction in (("p50_ms", 0.5), ("p90_ms", 0.9), ("p99_ms", 0.99)):
+            value = self._percentile_from(counts, count, maximum, fraction)
+            summary[label] = value * 1000.0 if value is not None else None
+        return summary
+
+    @staticmethod
+    def _percentile_from(
+        counts: List[int], count: int, maximum: float, fraction: float
+    ) -> Optional[float]:
+        """Percentile over an already-snapshotted count vector (lock-free)."""
+        if count == 0:
+            return None
+        rank = fraction * count
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(BUCKET_BOUNDS_SECONDS):
+                    return BUCKET_BOUNDS_SECONDS[index]
+                return maximum
+        return maximum  # pragma: no cover - defensive
+
+
+__all__ = ["BUCKET_BOUNDS_SECONDS", "LatencyHistogram"]

@@ -53,6 +53,7 @@ STATS_KEYS = (
     "planner_estimates",
     "planner_calibrated",
     "index",
+    "sharding",
 )
 
 #: Request fields the parser understands; anything else is rejected so a

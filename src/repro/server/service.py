@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig, SPQEngine
@@ -42,12 +42,43 @@ from repro.planner.core import PlannerConfig, QueryPlanner, resolve_planner_mode
 from repro.planner.persistence import save_calibration, try_restore_calibration
 from repro.server.batching import MicroBatcher, PendingRequest
 from repro.server.cache import ResultCache
+from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import (
     ParsedRequest,
     RequestDefaults,
     parse_query_spec,
     result_payload,
 )
+from repro.spatial.geometry import BoundingBox
+
+
+def resolve_request_defaults(
+    extent: BoundingBox, engine_grid_size: int, config: "ServiceConfig"
+) -> RequestDefaults:
+    """Service-level request defaults for one dataset extent.
+
+    Shared by :class:`QueryService` and the shard router so an unsharded
+    service and a router over the same dataset resolve a request to the
+    same canonical query (same default radius rule, same grid size) --
+    a precondition of their result identity.
+    """
+    grid_size = (
+        config.default_grid_size
+        if config.default_grid_size is not None
+        else engine_grid_size
+    )
+    radius = config.default_radius
+    if radius is None:
+        radius = radius_from_cell_fraction(
+            extent, grid_size, config.default_radius_fraction
+        )
+    return RequestDefaults(
+        k=config.default_k,
+        radius=float(radius),
+        algorithm=config.default_algorithm,
+        grid_size=grid_size,
+        score_mode="range",
+    )
 
 
 @dataclass
@@ -100,6 +131,7 @@ class _ServiceCounters:
     batches: int = 0
     batched_requests: int = 0
     max_batch: int = 0
+    swaps: int = 0
     checkpoints: int = 0
     last_checkpoint_unix: Optional[float] = None
     checkpoint_error: Optional[str] = None
@@ -112,7 +144,8 @@ class _PendingPayload:
     """What rides through the micro-batch queue for one request."""
 
     parsed: ParsedRequest
-    key: tuple = field(default_factory=tuple)
+    #: Submission timestamp (``time.monotonic``) for the latency histogram.
+    submitted_monotonic: float = 0.0
 
 
 class QueryService:
@@ -129,13 +162,26 @@ class QueryService:
         feature_objects: Sequence[FeatureObject],
         engine_config: Optional[EngineConfig] = None,
         config: Optional[ServiceConfig] = None,
+        extent: Optional[BoundingBox] = None,
     ) -> None:
         """Build the engine pool and serving structures (does not start).
+
+        Args:
+            data_objects: The object dataset ``O``.
+            feature_objects: The feature dataset ``F``.
+            engine_config: Engine knobs shared by every pooled engine.
+            config: Service knobs (defaults to :class:`ServiceConfig`).
+            extent: Explicit grid extent for every pooled engine.  The shard
+                router passes the *full* dataset extent so a shard service's
+                query grids align cell-for-cell with an unsharded engine's;
+                plain deployments leave it None (extent derived from the
+                datasets).
 
         Raises:
             ValueError: for a non-positive engine pool.
             JobConfigurationError: for invalid engine backend/planner
                 configuration.
+            InvalidQueryError: for an explicit degenerate ``extent``.
         """
         self.config = config or ServiceConfig()
         if self.config.engines < 1:
@@ -159,6 +205,7 @@ class QueryService:
                 data_objects,
                 feature_objects,
                 config=engine_config,
+                extent=extent,
                 index_cache=self._index_cache,
                 planner=self._planner,
             )
@@ -173,7 +220,15 @@ class QueryService:
         )
         self._defaults = self._resolve_defaults()
         self._counters = _ServiceCounters()
+        self._latency = LatencyHistogram()
         self._lock = threading.Lock()
+        #: Serializes dataset swaps against each other.
+        self._swap_lock = threading.Lock()
+        #: Quiesce gate: while ``_paused`` no new micro-batch starts;
+        #: ``_inflight_batches`` counts batches currently executing.
+        self._pause_cond = threading.Condition()
+        self._paused = False
+        self._inflight_batches = 0
         self._checkpoint_stop = threading.Event()
         self._checkpoint_thread: Optional[threading.Thread] = None
         self._started = False
@@ -181,24 +236,10 @@ class QueryService:
         self._started_monotonic: Optional[float] = None
 
     def _resolve_defaults(self) -> RequestDefaults:
-        grid_size = (
-            self.config.default_grid_size
-            if self.config.default_grid_size is not None
-            else self._engines[0].config.grid_size
-        )
-        radius = self.config.default_radius
-        if radius is None:
-            radius = radius_from_cell_fraction(
-                self._engines[0].extent,
-                grid_size,
-                self.config.default_radius_fraction,
-            )
-        return RequestDefaults(
-            k=self.config.default_k,
-            radius=float(radius),
-            algorithm=self.config.default_algorithm,
-            grid_size=grid_size,
-            score_mode="range",
+        return resolve_request_defaults(
+            self._engines[0].extent,
+            self._engines[0].config.grid_size,
+            self.config,
         )
 
     # ------------------------------------------------------------------ #
@@ -321,19 +362,73 @@ class QueryService:
         data_objects: Sequence[DataObject],
         feature_objects: Sequence[FeatureObject],
     ) -> None:
-        """Swap the dataset snapshot on every pooled engine.
+        """Swap the dataset snapshot on every pooled engine (quiescing).
 
-        Bumps each engine's dataset version (making every cached result
-        unreachable -- the result-cache key embeds the version), drops the
-        shared index cache, and re-derives the request defaults (the
-        default radius is a fraction of the *new* extent's cell side).
-        Callers should quiesce traffic first: requests in flight during
-        the swap may fail.
+        Alias of :meth:`swap_datasets`, kept for callers of the pre-hot-swap
+        API; since the quiesce protocol landed, swapping under live traffic
+        is safe (no request is lost or fails because of the swap).
         """
-        for engine in self._engines:
-            engine.set_datasets(data_objects, feature_objects)
-        self._result_cache.invalidate()
-        self._defaults = self._resolve_defaults()
+        self.swap_datasets(data_objects, feature_objects)
+
+    def swap_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        extent: Optional[BoundingBox] = None,
+    ) -> Dict[str, object]:
+        """Hot-swap the dataset under live traffic; returns the new snapshot info.
+
+        The quiesce protocol (the ``POST /datasets`` endpoint runs this):
+
+        1. new micro-batches are *paused* -- dispatcher threads block before
+           touching an engine, while submissions keep queueing normally;
+        2. the swap waits for every in-flight micro-batch to finish (those
+           requests are answered from the old snapshot);
+        3. every pooled engine swaps atomically with respect to serving --
+           no batch can observe a half-swapped pool -- bumping its dataset
+           version, which makes every cached result and index unreachable;
+        4. request defaults are re-derived (the default radius follows the
+           new extent) and dispatch resumes.
+
+        Requests submitted during the swap are served from the new snapshot
+        once dispatch resumes; none fail because of the swap.
+
+        Args:
+            data_objects: The new object dataset ``O``.
+            feature_objects: The new feature dataset ``F``.
+            extent: Optional new explicit engine extent (sharded
+                deployments pass the new *full* extent).
+
+        Returns:
+            ``{"version", "data_objects", "feature_objects"}`` of the new
+            snapshot.
+        """
+        with self._swap_lock:
+            with self._pause_cond:
+                self._paused = True
+                while self._inflight_batches:
+                    self._pause_cond.wait()
+            try:
+                for engine in self._engines:
+                    engine.set_datasets(data_objects, feature_objects, extent=extent)
+                self._result_cache.invalidate()
+                self._defaults = self._resolve_defaults()
+                with self._lock:
+                    self._counters.swaps += 1
+            finally:
+                with self._pause_cond:
+                    self._paused = False
+                    self._pause_cond.notify_all()
+        return self.dataset_info()
+
+    def dataset_info(self) -> Dict[str, object]:
+        """Version and sizes of the current dataset snapshot."""
+        engine = self._engines[0]
+        return {
+            "version": engine.dataset_version,
+            "data_objects": len(engine.data_objects),
+            "feature_objects": len(engine.feature_objects),
+        }
 
     # ------------------------------------------------------------------ #
     # serving
@@ -369,12 +464,14 @@ class QueryService:
         pendings: List[Optional[PendingRequest]] = []
         responses: List[Optional[Dict[str, object]]] = []
         for parsed in parsed_list:
+            started = time.monotonic()
             hit = self._lookup(parsed)
             if hit is not None:
+                self._latency.record(time.monotonic() - started)
                 pendings.append(None)
                 responses.append(hit)
             else:
-                pendings.append(self._enqueue(parsed))
+                pendings.append(self._enqueue(parsed, started))
                 responses.append(None)
         for index, pending in enumerate(pendings):
             if pending is not None:
@@ -389,10 +486,12 @@ class QueryService:
         return parsed
 
     def _serve(self, parsed: ParsedRequest) -> Dict[str, object]:
+        started = time.monotonic()
         hit = self._lookup(parsed)
         if hit is not None:
+            self._latency.record(time.monotonic() - started)
             return hit
-        return self._await(self._enqueue(parsed))
+        return self._await(self._enqueue(parsed, started))
 
     def _lookup(self, parsed: ParsedRequest) -> Optional[Dict[str, object]]:
         with self._lock:
@@ -411,9 +510,10 @@ class QueryService:
             self._counters.completed += 1
         return payload
 
-    def _enqueue(self, parsed: ParsedRequest) -> PendingRequest:
-        key = parsed.canonical_key(self._engines[0].dataset_version)
-        return self._batcher.submit(_PendingPayload(parsed=parsed, key=key))
+    def _enqueue(self, parsed: ParsedRequest, started: float) -> PendingRequest:
+        return self._batcher.submit(
+            _PendingPayload(parsed=parsed, submitted_monotonic=started)
+        )
 
     def _await(self, pending: PendingRequest) -> Dict[str, object]:
         try:
@@ -422,6 +522,8 @@ class QueryService:
             with self._lock:
                 self._counters.failed += 1
             raise
+        payload: _PendingPayload = pending.payload  # type: ignore[assignment]
+        self._latency.record(time.monotonic() - payload.submitted_monotonic)
         with self._lock:
             self._counters.completed += 1
         return response  # type: ignore[return-value]
@@ -432,9 +534,34 @@ class QueryService:
     def _execute_batch(
         self, worker_index: int, batch: Sequence[PendingRequest]
     ) -> None:
-        """Run one micro-batch on this dispatcher's engine (never raises)."""
+        """Run one micro-batch on this dispatcher's engine (never raises).
+
+        Holds the quiesce gate for the duration of the batch: a concurrent
+        :meth:`swap_datasets` waits for it, and while a swap is pausing
+        dispatch this blocks *before* touching the engine, so no batch ever
+        runs against a half-swapped pool.
+        """
+        with self._pause_cond:
+            while self._paused:
+                self._pause_cond.wait()
+            self._inflight_batches += 1
+        try:
+            self._execute_batch_inner(worker_index, batch)
+        finally:
+            with self._pause_cond:
+                self._inflight_batches -= 1
+                self._pause_cond.notify_all()
+
+    def _execute_batch_inner(
+        self, worker_index: int, batch: Sequence[PendingRequest]
+    ) -> None:
         engine = self._engines[worker_index]
         payloads: List[_PendingPayload] = [p.payload for p in batch]  # type: ignore[misc]
+        # The cache key embeds the dataset version *at execution time* (it
+        # cannot change mid-batch: swaps wait for in-flight batches), so a
+        # result computed just after a swap is cached under the new version
+        # even if the request was submitted before it.
+        version = engine.dataset_version
         try:
             results = engine.execute_many([p.parsed.item for p in payloads])
         except BaseException as exc:  # noqa: BLE001 - delivered to submitters
@@ -450,7 +577,7 @@ class QueryService:
             # a later stats-requesting hit can then still see them.
             stats_parsed = ParsedRequest(item=payload.parsed.item, include_stats=True)
             full = result_payload(stats_parsed, result)
-            self._result_cache.put(payload.key, full)
+            self._result_cache.put(payload.parsed.canonical_key(version), full)
             response = dict(full)
             if not payload.parsed.include_stats:
                 response.pop("stats", None)
@@ -482,6 +609,7 @@ class QueryService:
                 "failed": counters.failed,
                 "result_cache_hits": counters.cache_hits,
             },
+            "latency": self._latency.snapshot(),
             "batching": {
                 "batches": counters.batches,
                 "batched_requests": counters.batched_requests,
@@ -508,6 +636,7 @@ class QueryService:
                 "version": engine.dataset_version,
                 "data_objects": len(engine.data_objects),
                 "feature_objects": len(engine.feature_objects),
+                "swaps": counters.swaps,
             },
             "defaults": vars(self._defaults),
         }

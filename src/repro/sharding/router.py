@@ -1,0 +1,593 @@
+"""Scatter-gather query router over per-shard query services.
+
+:class:`ShardRouter` is the sharded counterpart of
+:class:`~repro.server.service.QueryService` and serves the same request
+objects through the same front-end (``repro serve --shards N``):
+
+* at build time the dataset is split by :func:`~repro.sharding.partition.
+  partition_datasets` and one :class:`QueryService` is started per shard,
+  each over the shard's slice but gridding over the *full* dataset extent,
+  so every shard engine's query grid is cell-for-cell the unsharded
+  engine's grid;
+* a request is parsed and resolved once at the router, answered from the
+  router's result cache when possible, and otherwise *scattered* -- in
+  parallel -- to every shard that owns data (the routing rule; feature
+  reach was already resolved at partition time by the ``MINDIST <=
+  max_radius`` replication rule);
+* the per-shard top-k partials are *gathered* through
+  :func:`~repro.model.result.merge_top_k` -- the same merge, with the same
+  ``(-score, oid)`` tie order, the engine uses for per-cell lists -- which
+  is associative, so the merged result equals a single unsharded engine's
+  (see :meth:`~repro.sharding.partition.ShardingPlan.grid_aligned` for the
+  exact tie contract);
+* hot swaps (``POST /datasets``) quiesce the router (in-flight scatter
+  requests drain, new ones queue at the gate), repartition, swap every
+  shard atomically and invalidate the router's result cache by bumping the
+  router dataset version.
+
+``benchmarks/bench_sharding.py --check`` gates result identity, 4-shard
+throughput and loss-free hot swaps under load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.engine import ALGORITHM_CHOICES, EngineConfig
+from repro.exceptions import InvalidQueryError
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.server.cache import ResultCache
+from repro.server.metrics import LatencyHistogram
+from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
+from repro.server.service import (
+    QueryService,
+    ServiceConfig,
+    resolve_request_defaults,
+)
+from repro.sharding.partition import ShardingPlan, partition_datasets
+
+
+@dataclass
+class ShardingConfig:
+    """Router-level knobs of one :class:`ShardRouter`.
+
+    Attributes:
+        shards: Number of shards (>= 1).
+        max_radius: Largest query radius the shards answer exactly; the
+            feature replication radius of the partitioner.  ``None``
+            replicates every feature to every shard and accepts any radius.
+        scatter_threads: Size of the scatter thread pool (one task per
+            shard per in-flight request).  ``None`` picks
+            ``min(64, shards * 8)``.
+    """
+
+    shards: int = 2
+    max_radius: Optional[float] = None
+    scatter_threads: Optional[int] = None
+
+
+@dataclass
+class _RouterCounters:
+    """Mutable request accounting (guarded by the router lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    swaps: int = 0
+
+
+class ShardRouter:
+    """Scatter-gather front-end over one :class:`QueryService` per shard.
+
+    Duck-types the :class:`QueryService` serving surface (``submit``,
+    ``submit_many``, ``stats``, ``uptime_seconds``, ``swap_datasets``,
+    context manager), so :func:`repro.server.http.make_server` serves a
+    router and a plain service interchangeably.
+    """
+
+    def __init__(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        engine_config: Optional[EngineConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        sharding: Optional[ShardingConfig] = None,
+    ) -> None:
+        """Partition the dataset and build (but do not start) shard services.
+
+        Per-shard :class:`ServiceConfig` adjustments: the shard services run
+        with their result caches disabled (responses are cached once, at the
+        router, keyed by the router dataset version) and, when a
+        ``calibration_path`` is configured, each shard persists its own
+        calibration under ``<path>.shard<i>`` (shards see different data, so
+        their calibration states legitimately differ).
+
+        Raises:
+            ValueError: for a non-positive shard count or engine pool.
+            InvalidQueryError: for a negative ``max_radius``.
+            JobConfigurationError: for invalid engine configuration.
+        """
+        self.sharding = sharding or ShardingConfig()
+        if self.sharding.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.sharding.shards}")
+        self._engine_config = engine_config or EngineConfig()
+        self._service_config = service_config or ServiceConfig()
+        self._plan = partition_datasets(
+            data_objects,
+            feature_objects,
+            self.sharding.shards,
+            max_radius=self.sharding.max_radius,
+        )
+        self._services: List[QueryService] = [
+            QueryService(
+                shard.data_objects,
+                shard.feature_objects,
+                engine_config=self._engine_config,
+                config=self._shard_service_config(shard.shard_id),
+                extent=self._plan.extent,
+            )
+            for shard in self._plan.shards
+        ]
+        self._defaults = resolve_request_defaults(
+            self._plan.extent, self._engine_config.grid_size, self._service_config
+        )
+        self._cache = ResultCache(self._service_config.result_cache_capacity)
+        self._latency = LatencyHistogram()
+        self._counters = _RouterCounters()
+        self._dataset_version = 0
+        self._num_features = len(feature_objects)
+        self._lock = threading.Lock()
+        #: Serializes hot swaps against each other.
+        self._swap_lock = threading.Lock()
+        #: Quiesce gate: while ``_paused`` no new request scatters;
+        #: ``_inflight`` counts requests between gate entry and completion.
+        self._gate = threading.Condition()
+        self._paused = False
+        self._inflight = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self._closed = False
+        self._started_monotonic: Optional[float] = None
+
+    def _shard_service_config(self, shard_id: int) -> ServiceConfig:
+        config = dataclasses.replace(self._service_config, result_cache_capacity=0)
+        if config.calibration_path:
+            config = dataclasses.replace(
+                config, calibration_path=f"{config.calibration_path}.shard{shard_id}"
+            )
+        return config
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> "ShardRouter":
+        """Start every shard service and the scatter pool (idempotent)."""
+        with self._lock:
+            if self._started or self._closed:
+                return self
+            self._started = True
+            self._started_monotonic = time.monotonic()
+        workers = self.sharding.scatter_threads or min(
+            64, self.sharding.shards * 8
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-scatter"
+        )
+        for service in self._services:
+            service.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Drain in-flight requests, then tear everything down (idempotent).
+
+        A request that passed the submission check races shutdown; tearing
+        the scatter pool down under it would fail an accepted request (the
+        close-while-serving race class).  Instead the gate's in-flight count
+        is drained first -- accepted requests complete, requests that reach
+        the gate after the closed flag is set are rejected cleanly -- and
+        only then are the pool and the shard services stopped (serialized
+        against a concurrent :meth:`swap_datasets` via the swap lock).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self._gate:
+            while self._inflight:
+                self._gate.wait()
+        with self._swap_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            for service in self._services:
+                service.shutdown()
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has been called."""
+        return self._closed
+
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it); lock-free."""
+        started = self._started_monotonic
+        return time.monotonic() - started if started is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # serving
+
+    def submit(self, spec: Mapping[str, object]) -> Dict[str, object]:
+        """Serve one request object; returns its response payload.
+
+        Identical request/response contract to :meth:`QueryService.submit`;
+        see :mod:`repro.server.protocol`.  Additionally rejects queries
+        whose radius exceeds the configured ``max_radius`` (the shards'
+        feature replication cannot answer them exactly).
+
+        Raises:
+            InvalidQueryError: for an invalid request or an over-radius one.
+            RuntimeError: when the router is not started or already shut
+                down.
+        """
+        parsed = self._parse(spec)
+        return self._serve(parsed)
+
+    def submit_many(
+        self, specs: Sequence[Mapping[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Serve a batch of request objects; responses in input order.
+
+        All requests are validated up front (the whole batch is rejected if
+        any is invalid, mirroring ``QueryService.submit_many``), then served
+        concurrently on a batch-local thread pool so their scatter-gather
+        round-trips overlap -- the pool is distinct from the shard scatter
+        pool (batch tasks block on scatter tasks, never the reverse, so the
+        two levels cannot deadlock each other).
+        """
+        parsed_list = [self._parse(spec) for spec in specs]
+        if len(parsed_list) <= 1:
+            return [self._serve(parsed) for parsed in parsed_list]
+        with ThreadPoolExecutor(
+            max_workers=min(len(parsed_list), 8),
+            thread_name_prefix="repro-shard-batch",
+        ) as pool:
+            return list(pool.map(self._serve, parsed_list))
+
+    def _parse(self, spec: Mapping[str, object]) -> ParsedRequest:
+        parsed = parse_query_spec(spec, self._defaults, ALGORITHM_CHOICES)
+        self._services[0].engines[0].validate_combination(
+            parsed.item.algorithm, parsed.item.score_mode
+        )
+        max_radius = self.sharding.max_radius
+        if max_radius is not None and parsed.item.query.radius > max_radius:
+            raise InvalidQueryError(
+                f"query radius {parsed.item.query.radius} exceeds the shard "
+                f"replication radius (max_radius={max_radius}); features "
+                "beyond it were not replicated across shard boundaries, so "
+                "the sharded service cannot answer this query exactly"
+            )
+        return parsed
+
+    def _serve(self, parsed: ParsedRequest) -> Dict[str, object]:
+        started = time.monotonic()
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("the query service is not started")
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+            self._counters.submitted += 1
+        with self._gate:
+            while self._paused:
+                self._gate.wait()
+            # The authoritative closed-check: a request may pass the early
+            # check above, then lose the race with shutdown -- rejecting it
+            # here (before the in-flight count) keeps shutdown's drain exact.
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+            self._inflight += 1
+        try:
+            response = self._serve_gated(parsed)
+        except BaseException:
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        finally:
+            with self._gate:
+                self._inflight -= 1
+                self._gate.notify_all()
+        self._latency.record(time.monotonic() - started)
+        with self._lock:
+            self._counters.completed += 1
+        return response
+
+    def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
+        """Cache probe + scatter-gather; runs inside the quiesce gate."""
+        key = parsed.canonical_key(self._dataset_version)
+        if self._cache.enabled:
+            payload = self._cache.get(key)
+            if payload is not None:
+                payload["cached"] = True
+                if not parsed.include_stats:
+                    payload.pop("stats", None)
+                with self._lock:
+                    self._counters.cache_hits += 1
+                return payload
+
+        shard_responses = self._scatter(parsed)
+        full = self._gather(parsed, shard_responses)
+        self._cache.put(key, full)
+        response = dict(full)
+        if not parsed.include_stats:
+            response.pop("stats", None)
+        return response
+
+    def _scatter(
+        self, parsed: ParsedRequest
+    ) -> List[Tuple[int, Dict[str, object]]]:
+        """Fan the resolved request out to every data-bearing shard.
+
+        The scattered spec is fully resolved (every field explicit), so the
+        shard services' own defaults can never reinterpret it, and it always
+        asks for stats: the router caches the stats-bearing merged payload
+        (the same trick ``QueryService`` uses) and strips on answer.
+        """
+        item = parsed.item
+        spec: Dict[str, object] = {
+            "keywords": sorted(item.query.keywords),
+            "k": item.query.k,
+            "radius": item.query.radius,
+            "algorithm": item.algorithm,
+            "grid_size": item.grid_size,
+            "score_mode": item.score_mode,
+            "stats": True,
+        }
+        targets = [
+            (shard.shard_id, self._services[shard.shard_id])
+            for shard in self._plan.shards
+            if not shard.is_empty
+        ]
+        if not targets:
+            return []
+        if len(targets) == 1:
+            shard_id, service = targets[0]
+            return [(shard_id, service.submit(spec))]
+        assert self._pool is not None  # started before any request is gated
+        futures = [
+            (shard_id, self._pool.submit(service.submit, spec))
+            for shard_id, service in targets
+        ]
+        return [(shard_id, future.result()) for shard_id, future in futures]
+
+    def _gather(
+        self,
+        parsed: ParsedRequest,
+        shard_responses: List[Tuple[int, Dict[str, object]]],
+    ) -> Dict[str, object]:
+        """Merge per-shard partials into the stats-bearing response payload."""
+        partials: List[List[ScoredObject]] = [
+            [
+                ScoredObject(
+                    DataObject(oid=entry["oid"], x=entry["x"], y=entry["y"]),
+                    entry["score"],
+                )
+                for entry in response["results"]
+            ]
+            for _, response in shard_responses
+        ]
+        entries = merge_top_k(partials, parsed.item.query.k)
+        stats = self._aggregate_stats(parsed, shard_responses)
+        stats_parsed = ParsedRequest(item=parsed.item, include_stats=True)
+        return result_payload(stats_parsed, QueryResult(entries, stats=stats))
+
+    def _aggregate_stats(
+        self,
+        parsed: ParsedRequest,
+        shard_responses: List[Tuple[int, Dict[str, object]]],
+    ) -> Dict[str, object]:
+        """Router-level stats tree: sums of shard work, makespan of shard time.
+
+        ``simulated_seconds`` is the *maximum* over shards -- they execute
+        in parallel, so the simulated sharded job time is the slowest
+        shard's -- while the work counters are sums.  Per-shard planner
+        decisions are surfaced under ``sharding.planned_algorithms``; the
+        top-level ``planned_algorithm`` is set only when every queried
+        shard chose the same one.
+        """
+        stats: Dict[str, object] = {
+            "algorithm": parsed.item.algorithm,
+            "grid_size": parsed.item.grid_size,
+        }
+        summed = (
+            "shuffled_records",
+            "features_pruned",
+            "features_examined",
+            "score_computations",
+        )
+        totals: Dict[str, float] = dict.fromkeys(summed, 0)
+        makespan = 0.0
+        planned: Dict[str, str] = {}
+        for shard_id, response in shard_responses:
+            shard_stats = response.get("stats", {})
+            for name in summed:
+                if name in shard_stats:
+                    totals[name] += shard_stats[name]
+            makespan = max(makespan, shard_stats.get("simulated_seconds", 0.0))
+            if "planned_algorithm" in response:
+                planned[str(shard_id)] = response["planned_algorithm"]
+            if "backend" in shard_stats and "backend" not in stats:
+                stats["backend"] = shard_stats["backend"]
+                stats["workers"] = shard_stats.get("workers")
+        stats.update(totals)
+        stats["simulated_seconds"] = makespan
+        stats["sharding"] = {
+            "shards_queried": len(shard_responses),
+            "dataset_version": self._dataset_version,
+            "planned_algorithms": planned or None,
+        }
+        if planned and len(set(planned.values())) == 1:
+            stats["planned_algorithm"] = next(iter(planned.values()))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # datasets
+
+    def swap_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> Dict[str, object]:
+        """Hot-swap the dataset across every shard; returns new snapshot info.
+
+        The two-level quiesce protocol:
+
+        1. the router gate pauses: in-flight scatter-gather requests drain
+           (each sees one consistent shard generation), new requests queue
+           at the gate instead of failing;
+        2. the new dataset is repartitioned over its new extent;
+        3. every shard service swaps (their own quiesce is trivially idle:
+           all router traffic has drained, and shard queues are empty);
+        4. the router dataset version is bumped -- every cached result
+           becomes unreachable -- defaults re-derive from the new extent,
+           and the gate reopens.
+
+        No request is lost: requests queued at the gate are served from the
+        new snapshot once the gate reopens.
+        """
+        with self._swap_lock:
+            with self._gate:
+                self._paused = True
+                while self._inflight:
+                    self._gate.wait()
+            try:
+                plan = partition_datasets(
+                    data_objects,
+                    feature_objects,
+                    self.sharding.shards,
+                    max_radius=self.sharding.max_radius,
+                )
+                for service, shard in zip(self._services, plan.shards):
+                    service.swap_datasets(
+                        shard.data_objects,
+                        shard.feature_objects,
+                        extent=plan.extent,
+                    )
+                self._plan = plan
+                self._num_features = len(feature_objects)
+                self._dataset_version += 1
+                self._cache.invalidate()
+                self._defaults = resolve_request_defaults(
+                    plan.extent,
+                    self._engine_config.grid_size,
+                    self._service_config,
+                )
+                with self._lock:
+                    self._counters.swaps += 1
+            finally:
+                with self._gate:
+                    self._paused = False
+                    self._gate.notify_all()
+        return self.dataset_info()
+
+    def set_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> None:
+        """Alias of :meth:`swap_datasets` (the :class:`QueryService` name)."""
+        self.swap_datasets(data_objects, feature_objects)
+
+    def dataset_info(self) -> Dict[str, object]:
+        """Version and sizes of the current (full) dataset snapshot."""
+        return {
+            "version": self._dataset_version,
+            "data_objects": self._plan.stats.num_data,
+            "feature_objects": self._num_features,
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def plan(self) -> ShardingPlan:
+        """The current sharding plan (replaced wholesale by hot swaps)."""
+        return self._plan
+
+    @property
+    def services(self) -> List[QueryService]:
+        """The per-shard query services, in shard-id order."""
+        return self._services
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate router statistics (the sharded ``GET /stats`` payload).
+
+        The router tree mirrors the :meth:`QueryService.stats` shape where
+        the concepts coincide (requests, latency, result cache, dataset,
+        defaults) and adds a ``sharding`` subtree plus one slim per-shard
+        entry -- including each shard's own latency histogram -- under
+        ``"shards"``.
+        """
+        with self._lock:
+            counters = _RouterCounters(**vars(self._counters))
+        plan_stats = self._plan.stats
+        shard_trees: List[Dict[str, object]] = []
+        for shard, service in zip(self._plan.shards, self._services):
+            shard_stats = service.stats()
+            shard_trees.append({
+                "shard": shard.shard_id,
+                "box": [shard.box.min_x, shard.box.min_y,
+                        shard.box.max_x, shard.box.max_y],
+                "data_objects": len(shard.data_objects),
+                "feature_objects": len(shard.feature_objects),
+                "requests": shard_stats["requests"],
+                "latency": shard_stats["latency"],
+                "batching": {
+                    "batches": shard_stats["batching"]["batches"],
+                    "mean_batch": shard_stats["batching"]["mean_batch"],
+                },
+                "index_cache": shard_stats["index_cache"],
+            })
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "started": self._started,
+            "closed": self._closed,
+            "requests": {
+                "submitted": counters.submitted,
+                "completed": counters.completed,
+                "failed": counters.failed,
+                "result_cache_hits": counters.cache_hits,
+            },
+            "latency": self._latency.snapshot(),
+            "result_cache": {
+                "capacity": self._cache.capacity,
+                "size": len(self._cache),
+                **self._cache.stats.as_dict(),
+            },
+            "sharding": {
+                "shards": plan_stats.num_shards,
+                "layout": list(plan_stats.layout),
+                "max_radius": self.sharding.max_radius,
+                "active_shards": plan_stats.num_shards - plan_stats.empty_shards,
+                "empty_shards": plan_stats.empty_shards,
+                "feature_replication_factor": plan_stats.replication_factor,
+                "grid_aligned_default": self._plan.grid_aligned(
+                    self._defaults.grid_size
+                ),
+            },
+            "dataset": {**self.dataset_info(), "swaps": counters.swaps},
+            "defaults": vars(self._defaults),
+            "shards": shard_trees,
+        }
+
+
+__all__ = ["ShardRouter", "ShardingConfig"]

@@ -510,6 +510,60 @@ class TestServeCommand:
         assert code == 0
         assert "starting cold" in capsys.readouterr().err
 
+    def test_parser_shard_defaults(self):
+        args = build_parser().parse_args(["serve", "--input", "x.tsv"])
+        assert args.shards == 1
+        assert args.max_radius is None
+
+    def test_rejects_nonpositive_shards(self, dataset_file, capsys):
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--shards", "0",
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_max_radius_without_shards_warns(
+        self, dataset_file, capsys, monkeypatch
+    ):
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--grid-size", "8", "--engines", "1", "--max-radius", "2.0",
+        ])
+        assert code == 0
+        assert "--max-radius" in capsys.readouterr().err
+
+    def test_serve_sharded_startup_and_shutdown_in_process(
+        self, dataset_file, tmp_path, capsys, monkeypatch
+    ):
+        """`repro serve --shards 2` builds a router behind the same server."""
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        calibration = tmp_path / "calibration.json"
+        argv = [
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--grid-size", "8", "--engines", "1", "--shards", "2",
+            "--max-radius", "3.0",
+            "--calibration-path", str(calibration),
+            "--checkpoint-interval", "0",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "2 shards" in captured.out
+        assert "POST /datasets" in captured.out
+        assert "per shard" in captured.out
+        # Each shard persisted its own calibration snapshot on shutdown.
+        assert (tmp_path / "calibration.json.shard0").exists()
+        assert (tmp_path / "calibration.json.shard1").exists()
+
     def test_serve_lifecycle_and_calibration_restart(self, dataset_file, tmp_path):
         """Full restart path via real processes: serve, query, SIGTERM,
         serve again, verify the calibration snapshot was restored."""

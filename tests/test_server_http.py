@@ -276,3 +276,146 @@ class TestOperationalEndpoints:
         for thread in threads:
             thread.join()
         assert not errors
+
+
+class TestDatasetsEndpoint:
+    """POST /datasets: online hot swap of the served dataset."""
+
+    def test_swap_via_path(self, live_server, tmp_path, small_clustered_dataset):
+        from repro.datagen.io import save_dataset
+
+        service, url = live_server
+        data_b, features_b = small_clustered_dataset
+        dataset_path = tmp_path / "next.tsv"
+        save_dataset(dataset_path, data_b, features_b)
+        status, payload = post_json(
+            f"{url}/datasets", {"path": str(dataset_path)}
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["dataset"]["version"] == 1
+        assert payload["dataset"]["data_objects"] == len(data_b)
+        _, stats = get(f"{url}/stats")
+        assert stats["dataset"]["version"] == 1
+        assert stats["dataset"]["swaps"] == 1
+
+    def test_swap_via_inline_objects_and_cache_invalidation(self, live_server):
+        _, url = live_server
+        spec = {"keywords": ["swapword"], "k": 2, "radius": 2.0}
+        post_json(f"{url}/query", spec)
+        body = {
+            "data_objects": [
+                {"oid": "d1", "x": 1.0, "y": 1.0},
+                {"oid": "d2", "x": 9.0, "y": 9.0},
+            ],
+            "feature_objects": [
+                {"oid": "f1", "x": 1.5, "y": 1.0, "keywords": ["swapword"]},
+            ],
+        }
+        status, payload = post_json(f"{url}/datasets", body)
+        assert status == 200
+        status, response = post_json(f"{url}/query", spec)
+        assert status == 200
+        assert response["cached"] is False  # version-keyed invalidation
+        assert [entry["oid"] for entry in response["results"]] == ["d1"]
+
+    def test_requests_during_swap_are_not_lost(self, live_server):
+        service, url = live_server
+        stop = threading.Event()
+        errors = []
+
+        def client():
+            while not stop.is_set():
+                try:
+                    status, _ = post_json(f"{url}/query", {
+                        "keywords": ["w0001"], "k": 2, "radius": 2.0,
+                    })
+                    assert status == 200
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        body = {
+            "data_objects": [{"oid": "d1", "x": 1.0, "y": 1.0}],
+            "feature_objects": [
+                {"oid": "f1", "x": 1.5, "y": 1.0, "keywords": ["w0001"]},
+            ],
+        }
+        status, _ = post_json(f"{url}/datasets", body)
+        assert status == 200
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        _, stats = get(f"{url}/stats")
+        assert stats["requests"]["failed"] == 0
+
+    @pytest.mark.parametrize("body, fragment", [
+        ({"path": "/no/such/file.tsv"}, "cannot read"),
+        ({"path": ""}, "non-empty"),
+        ({"bogus": 1}, "unknown field"),
+        ({"path": "x.tsv", "data_objects": []}, "mutually exclusive"),
+        ({"data_objects": [], "feature_objects": []}, "no data objects"),
+        ({"data_objects": [{"oid": "d1"}]}, "malformed inline object"),
+        ({"data_objects": "nope"}, "must be lists"),
+    ])
+    def test_invalid_swap_bodies_are_400(self, live_server, body, fragment):
+        _, url = live_server
+        code, payload = http_error(
+            post, f"{url}/datasets", json.dumps(body).encode()
+        )
+        assert code == 400
+        assert fragment in payload["error"]
+
+    def test_get_datasets_is_405(self, live_server):
+        _, url = live_server
+        code, _ = http_error(get, f"{url}/datasets")
+        assert code == 405
+
+    def test_sharded_server_serves_same_surface(self, small_uniform_dataset):
+        """make_server over a ShardRouter: query, stats and swap all work."""
+        from repro.sharding import ShardRouter, ShardingConfig
+
+        data, features = small_uniform_dataset
+        router = ShardRouter(
+            data, features,
+            engine_config=EngineConfig(grid_size=GRID),
+            service_config=ServiceConfig(engines=1, default_grid_size=GRID),
+            sharding=ShardingConfig(shards=2),
+        )
+        with router:
+            server = make_server(router)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            url = f"http://127.0.0.1:{server.port}"
+            try:
+                status, payload = post_json(f"{url}/query", {
+                    "keywords": ["w0001"], "k": 3, "radius": 2.0,
+                })
+                assert status == 200
+                with SPQEngine(data, features, config=EngineConfig(grid_size=GRID)) as engine:
+                    offline = engine.execute(
+                        SpatialPreferenceQuery.create(
+                            k=3, radius=2.0, keywords={"w0001"}
+                        ),
+                        algorithm="espq-sco", grid_size=GRID,
+                    )
+                assert [(e["oid"], e["score"]) for e in payload["results"]] == [
+                    (e.obj.oid, e.score) for e in offline
+                ]
+                status, stats = get(f"{url}/stats")
+                assert stats["sharding"]["shards"] == 2
+                status, swap = post_json(f"{url}/datasets", {
+                    "data_objects": [{"oid": "d1", "x": 0.0, "y": 0.0},
+                                     {"oid": "d2", "x": 5.0, "y": 5.0}],
+                    "feature_objects": [],
+                })
+                assert status == 200
+                assert swap["dataset"]["version"] == 1
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join()

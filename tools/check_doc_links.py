@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links (the CI ``docs`` job).
+
+Scans the given markdown files/directories for inline links and images
+(``[text](target)`` / ``![alt](target)``), resolves every *relative*
+target against the containing file's directory, and exits non-zero if any
+resolved path does not exist.  External links (``http(s)://``,
+``mailto:``) and pure-fragment links (``#section``) are ignored; a
+fragment on a relative link is stripped before the existence check, so
+``service.md#post-datasets`` validates the file, not the anchor.
+
+Usage::
+
+    python tools/check_doc_links.py README.md docs
+
+Stdlib only, so the CI job needs no installation step beyond a checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link/image: [text](target) with no nested parentheses.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Target prefixes that are not intra-repo file references.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[Path]:
+    """Expand the given files/directories into a sorted list of .md files.
+
+    Raises:
+        FileNotFoundError: when an argument does not exist at all.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced and inline code spans (links inside them are examples)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def broken_links(markdown_file: Path) -> List[Tuple[str, str]]:
+    """(target, reason) for every broken relative link in one file."""
+    failures: List[Tuple[str, str]] = []
+    text = strip_code(markdown_file.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            failures.append((target, f"resolves to missing {resolved}"))
+    return failures
+
+
+def main(argv=None) -> int:
+    """Check every argument; print failures and return 1 if any."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="+",
+        help="markdown files and/or directories to scan recursively",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        files = iter_markdown_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    total_failures = 0
+    for markdown_file in files:
+        failures = broken_links(markdown_file)
+        total_failures += len(failures)
+        for target, reason in failures:
+            print(f"BROKEN {markdown_file}: ({target}) {reason}", file=sys.stderr)
+    if total_failures:
+        print(f"{total_failures} broken link(s) across {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
