@@ -360,9 +360,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 # serve
 
 
+def _run_server_loop(server, shutdown) -> None:
+    """Serve until SIGTERM/SIGINT, then run ``shutdown`` callbacks in order.
+
+    The shared tail of every serving command (``serve``, ``serve
+    --cluster``, ``shard-node``): both signals trigger the same clean
+    drain, and ``server.shutdown`` runs off the signal-handler frame
+    because ``serve_forever`` must return before anything can be joined.
+    """
+
+    def _request_stop(signum: int, frame: object) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+    except ValueError:  # pragma: no cover - not in the main thread
+        pass
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down", file=sys.stderr)
+        server.server_close()
+        for callback in shutdown:
+            callback()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import QueryService, ServiceConfig, make_server
 
+    if args.cluster:
+        return _cmd_serve_cluster(args)
     data, features = load_dataset(args.input)
     if not data:
         print("error: dataset contains no data objects", file=sys.stderr)
@@ -494,6 +527,185 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         else:
             print(f"calibration saved to {args.calibration_path}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# serve --cluster / shard-node
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --cluster N``: spawn a local fleet, front it, serve."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterRouter,
+        NodeSpec,
+        spawn_local_nodes,
+        terminate_nodes,
+    )
+    from repro.server import ServiceConfig, make_server
+
+    if args.shards > 1:
+        print(
+            "error: --cluster and --shards are mutually exclusive (--cluster N "
+            "already shards the dataset across N node processes)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cluster < 1 or args.replication < 1:
+        print(
+            f"error: --cluster and --replication must be >= 1, got "
+            f"{args.cluster} and {args.replication}",
+            file=sys.stderr,
+        )
+        return 2
+    data, features = load_dataset(args.input)
+    if not data:
+        print("error: dataset contains no data objects", file=sys.stderr)
+        return 2
+    try:
+        engine_config = _engine_config(args, grid_size=args.grid_size)
+        service_config = ServiceConfig(
+            default_k=args.k,
+            default_radius=args.radius,
+            default_radius_fraction=args.radius_fraction,
+            default_algorithm=args.algorithm,
+            default_grid_size=args.grid_size,
+        )
+        cluster_config = ClusterConfig(
+            shards=args.cluster,
+            max_radius=args.max_radius,
+            heartbeat_interval=args.heartbeat_interval,
+            liveness_timeout=args.liveness_timeout,
+            node_deadline=args.node_deadline,
+            result_cache_capacity=args.result_cache,
+        )
+    except (ValueError, InvalidQueryError, JobConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    extra_args: List[str] = []
+    if args.backend is not None:
+        extra_args += ["--backend", args.backend]
+    if args.workers is not None:
+        extra_args += ["--workers", str(args.workers)]
+    print(
+        f"repro serve: spawning {args.cluster} shard(s) x {args.replication} "
+        f"replica(s) = {args.cluster * args.replication} node process(es)"
+    )
+    sys.stdout.flush()
+    try:
+        nodes = spawn_local_nodes(
+            args.input,
+            args.cluster,
+            replication=args.replication,
+            host=args.host,
+            grid_size=args.grid_size,
+            engines=args.engines,
+            max_radius=args.max_radius,
+            calibration_path=args.calibration_path,
+            log_dir=args.node_log_dir,
+            extra_args=extra_args,
+        )
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: cannot spawn shard nodes: {exc}", file=sys.stderr)
+        return 2
+    try:
+        router = ClusterRouter(
+            data,
+            features,
+            [NodeSpec(url=node.url, shard_index=node.shard_index) for node in nodes],
+            cluster=cluster_config,
+            engine_config=engine_config,
+            service_config=service_config,
+        )
+        server = make_server(router, args.host, args.port, quiet=not args.access_log)
+    except (OSError, ValueError, InvalidQueryError) as exc:
+        terminate_nodes(nodes)
+        print(f"error: cannot start the cluster router: {exc}", file=sys.stderr)
+        return 2
+    if args.calibration_path:
+        print(
+            f"calibration snapshots are per node: "
+            f"{args.calibration_path}.node0-0 .. "
+            f".node{args.cluster - 1}-{args.replication - 1}"
+        )
+    router.start()
+    for node in nodes:
+        print(
+            f"node shard {node.shard_index} replica {node.replica_rank}: "
+            f"{node.url}  (pid {node.process.pid}, log {node.log_path})"
+        )
+    print(
+        f"repro serve: listening on http://{args.host}:{server.port}  "
+        f"({len(data)} data objects, {len(features)} feature objects, "
+        f"{args.cluster} shards x {args.replication} replicas)"
+    )
+    print(
+        "endpoints: POST /query  POST /batch  POST /datasets  "
+        "GET /healthz  GET /stats"
+    )
+    sys.stdout.flush()
+    _run_server_loop(
+        server, [router.shutdown, lambda: terminate_nodes(nodes)]
+    )
+    return 0
+
+
+def _cmd_shard_node(args: argparse.Namespace) -> int:
+    """``repro shard-node``: one shard slice of a dataset behind HTTP."""
+    from repro.cluster import NodeConfig, ShardNodeService
+    from repro.server import ServiceConfig, make_server
+
+    data, features = load_dataset(args.input)
+    if not data:
+        print("error: dataset contains no data objects", file=sys.stderr)
+        return 2
+    try:
+        engine_config = _engine_config(args, grid_size=args.grid_size)
+        service_config = ServiceConfig(
+            engines=args.engines,
+            max_batch=args.max_batch,
+            result_cache_capacity=args.result_cache,
+            calibration_path=args.calibration_path,
+            checkpoint_interval_seconds=args.checkpoint_interval,
+            default_grid_size=args.grid_size,
+        )
+        node = ShardNodeService(
+            data,
+            features,
+            node_config=NodeConfig(
+                shard_index=args.shard_index,
+                shards=args.shards,
+                max_radius=args.max_radius,
+                dataset_epoch=args.dataset_epoch,
+            ),
+            engine_config=engine_config,
+            service_config=service_config,
+        )
+    except (ValueError, InvalidQueryError, JobConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = make_server(node, args.host, args.port, quiet=not args.access_log)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    node.start()
+    slice_info = node.dataset_info()
+    # The spawner tails the log for this exact line to learn the
+    # OS-assigned port; keep the "listening on http://..." wording stable.
+    print(
+        f"repro shard-node: shard {args.shard_index}/{args.shards} "
+        f"listening on http://{args.host}:{server.port}  "
+        f"(node {node.node_id}, {slice_info['data_objects']} data objects, "
+        f"{slice_info['feature_objects']} feature objects)"
+    )
+    print(
+        "endpoints: POST /query  POST /batch  POST /datasets  "
+        "GET /healthz  GET /stats  GET /heartbeat"
+    )
+    sys.stdout.flush()
+    _run_server_loop(server, [node.shutdown])
     return 0
 
 
@@ -630,6 +842,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bounds cross-shard feature replication; queries above "
                             "it are rejected; default: unbounded, features "
                             "replicated to every shard)")
+    serve.add_argument("--cluster", type=int, default=0,
+                       help="cluster mode: spawn N shard-node processes (each its "
+                            "own OS process behind HTTP) and front them with the "
+                            "cluster router -- heartbeats, failover, degraded mode "
+                            "(0 = off; mutually exclusive with --shards)")
+    serve.add_argument("--replication", type=int, default=1,
+                       help="with --cluster: node processes per shard; >= 2 lets "
+                            "queries fail over when a node dies")
+    serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       help="with --cluster: seconds between fleet heartbeat rounds")
+    serve.add_argument("--liveness-timeout", type=float, default=6.0,
+                       help="with --cluster: silence after which a node is dead")
+    serve.add_argument("--node-deadline", type=float, default=10.0,
+                       help="with --cluster: per-node request deadline in seconds")
+    serve.add_argument("--node-log-dir", default=None,
+                       help="with --cluster: directory for per-node log files "
+                            "(default: a fresh temporary directory)")
     serve.add_argument("--max-batch", type=int, default=8,
                        help="largest micro-batch per execute_many call")
     serve.add_argument("--batch-window-ms", type=float, default=0.0,
@@ -656,6 +885,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log one line per HTTP request to stderr")
     _add_backend_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    shard_node = subparsers.add_parser(
+        "shard-node",
+        help="run one cluster shard node: load the full dataset, keep shard "
+             "i's slice, serve it over HTTP (spawned by 'serve --cluster')",
+    )
+    shard_node.add_argument("--input", required=True,
+                            help="the FULL dataset file (TSV); the node "
+                                 "partitions it deterministically and keeps "
+                                 "its own shard's slice")
+    shard_node.add_argument("--shard-index", type=int, required=True,
+                            help="which shard slice this node serves (0-based)")
+    shard_node.add_argument("--shards", type=int, required=True,
+                            help="total shard count of the cluster partitioning")
+    shard_node.add_argument("--max-radius", type=float, default=None,
+                            help="feature replication radius of the partitioning "
+                                 "(must match the router's; default: unbounded)")
+    shard_node.add_argument("--dataset-epoch", default="boot",
+                            help="epoch tag of the boot dataset (the router "
+                                 "re-tags it on every hot swap)")
+    shard_node.add_argument("--host", default="127.0.0.1")
+    shard_node.add_argument("--port", type=int, default=0,
+                            help="TCP port (default 0: the OS assigns one, "
+                                 "reported on the 'listening on' line)")
+    shard_node.add_argument("--engines", type=int, default=1,
+                            help="warm engine-pool size of this node")
+    shard_node.add_argument("--max-batch", type=int, default=8,
+                            help="largest micro-batch per execute_many call")
+    shard_node.add_argument("--result-cache", type=int, default=0,
+                            help="node-local result-cache entries (default 0: "
+                                 "the cluster router caches merged responses; "
+                                 "node caches would only hide executions)")
+    shard_node.add_argument("--grid-size", type=int, default=50)
+    shard_node.add_argument("--calibration-path", default=None,
+                            help="this node's own durable calibration snapshot "
+                                 "(the spawner derives <base>.node<i>-<r>)")
+    shard_node.add_argument("--checkpoint-interval", type=float, default=60.0,
+                            help="calibration checkpoint cadence in seconds "
+                                 "(0 = save only on shutdown)")
+    shard_node.add_argument("--access-log", action="store_true",
+                            help="log one line per HTTP request to stderr")
+    _add_backend_arguments(shard_node)
+    shard_node.set_defaults(func=_cmd_shard_node)
 
     analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")
     analyze.add_argument("what", choices=("duplication", "cell-size"))

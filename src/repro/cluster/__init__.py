@@ -1,0 +1,57 @@
+"""Cluster mode: process-isolated shard nodes, heartbeats, failover.
+
+Where :mod:`repro.sharding` scales scatter-gather across shards *inside*
+one process, this package puts every shard slice in its **own OS process**
+behind the existing JSON-over-HTTP protocol -- no shared GIL, no shared
+crash domain -- and fronts the fleet with a router that tracks liveness
+and fails requests over between replicas.
+
+Public surface:
+
+* :class:`~repro.cluster.node.ShardNodeService` -- one shard's slice of
+  the dataset behind the service HTTP surface (``repro shard-node``).
+* :class:`~repro.cluster.router.ClusterRouter` /
+  :class:`~repro.cluster.router.ClusterConfig` /
+  :class:`~repro.cluster.router.NodeSpec` -- the HTTP scatter-gather
+  front-end behind ``repro serve --cluster N``.
+* :class:`~repro.cluster.membership.ClusterMembership` -- the liveness /
+  epoch registry feeding routing decisions.
+* :func:`~repro.cluster.spawn.spawn_local_nodes` /
+  :func:`~repro.cluster.spawn.terminate_nodes` /
+  :class:`~repro.cluster.spawn.NodeProcess` -- local fleet supervision.
+
+See ``docs/cluster.md`` for the topology, the heartbeat/liveness protocol,
+the failover + degraded-mode contract and tuning guidance.
+"""
+
+from repro.cluster.membership import (
+    NODE_ALIVE,
+    NODE_DEAD,
+    NODE_SUSPECT,
+    ClusterMembership,
+    MembershipConfig,
+    NodeStatus,
+)
+from repro.cluster.node import BOOT_EPOCH, NodeConfig, ShardNodeService
+from repro.cluster.router import ClusterConfig, ClusterRouter, NodeSpec
+from repro.cluster.spawn import NodeProcess, spawn_local_nodes, terminate_nodes
+from repro.cluster.transport import NodeTransportError
+
+__all__ = [
+    "BOOT_EPOCH",
+    "ClusterConfig",
+    "ClusterMembership",
+    "ClusterRouter",
+    "MembershipConfig",
+    "NODE_ALIVE",
+    "NODE_DEAD",
+    "NODE_SUSPECT",
+    "NodeConfig",
+    "NodeProcess",
+    "NodeSpec",
+    "NodeStatus",
+    "NodeTransportError",
+    "ShardNodeService",
+    "spawn_local_nodes",
+    "terminate_nodes",
+]

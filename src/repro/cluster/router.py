@@ -1,0 +1,803 @@
+"""Scatter-gather over process-isolated shard nodes, with failover.
+
+:class:`ClusterRouter` is the cluster-mode counterpart of
+:class:`~repro.sharding.router.ShardRouter`: it duck-types
+:class:`~repro.server.service.QueryService` (``submit``, ``submit_many``,
+``stats``, ``uptime_seconds``, ``swap_datasets``, context manager) so
+:func:`repro.server.http.make_server` serves it unchanged -- but where the
+shard router calls N in-process services, this router speaks the existing
+JSON-over-HTTP protocol to N *node endpoints*, each a
+:class:`~repro.cluster.node.ShardNodeService` in its own OS process
+(``repro serve --cluster N``).  What that buys over ``--shards``:
+
+* **no single-process ceiling** -- every shard has its own interpreter
+  (its own GIL) and its own crash domain;
+* **liveness tracking** -- a heartbeat thread probes every node's
+  ``GET /heartbeat`` on a fixed cadence; consecutive misses or a liveness
+  timeout mark a node dead, one success re-admits it
+  (:mod:`repro.cluster.membership`);
+* **failover** -- each scattered sub-request carries a deadline and one
+  retry: when the primary replica of a shard fails (connection refused,
+  reset, timeout, 5xx), the request is retried on the next live replica of
+  the *same extent slice*.  Replicas exist because ``--replication R``
+  runs R node processes per shard, each slicing the same snapshot with the
+  same Lemma-1 :func:`~repro.sharding.partition.partition_datasets` call,
+  so any replica's answer is bit-for-bit any other's;
+* **degraded mode** -- when a shard has no live replica at all, the
+  response is still returned from the shards that answered, explicitly
+  marked ``"degraded": true`` with ``"shards_answered"`` /
+  ``"shards_missing"`` listed (and never cached);
+* **cluster-wide hot swap** -- ``POST /datasets`` quiesces the router
+  gate, pushes the full new snapshot to every node (each repartitions and
+  slices locally), bumps the router dataset version/epoch and invalidates
+  the result cache.  Nodes that were unreachable during the swap keep
+  reporting their old epoch and are excluded from routing until the
+  heartbeat loop resynchronises them.
+
+``benchmarks/bench_cluster.py --check`` gates healthy-fleet bit-for-bit
+identity against the unsharded oracle and zero lost/wrong responses while
+a node is SIGKILLed under load with replication >= 2.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.membership import (
+    ClusterMembership,
+    MembershipConfig,
+)
+from repro.cluster.node import BOOT_EPOCH
+from repro.cluster.transport import (
+    NodeTransportError,
+    get_json,
+    post_json,
+)
+from repro.core.engine import (
+    ALGORITHM_CHOICES,
+    EngineConfig,
+    validate_algorithm_combination,
+)
+from repro.exceptions import InvalidQueryError
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.server.cache import ResultCache
+from repro.server.metrics import LatencyHistogram
+from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
+from repro.server.service import ServiceConfig, resolve_request_defaults
+from repro.sharding.partition import ShardingPlan, partition_datasets
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node endpoint the router should route to.
+
+    Attributes:
+        url: Base URL (``http://host:port``) of a running shard node.
+        shard_index: The shard slice that node serves.
+    """
+
+    url: str
+    shard_index: int
+
+
+@dataclass
+class ClusterConfig:
+    """Router-level knobs of one :class:`ClusterRouter`.
+
+    Attributes:
+        shards: Shard count of the cluster partitioning (>= 1); must match
+            what every node was booted with.
+        max_radius: Feature replication radius of the partitioning (None =
+            unbounded); over-radius queries are rejected, as in sharded
+            mode.
+        heartbeat_interval: Seconds between fleet heartbeat rounds
+            (0 disables the background thread; probes can still be driven
+            explicitly via :meth:`ClusterRouter.probe_now`).
+        liveness_timeout: Silence (seconds) after which a node is dead.
+        max_misses: Consecutive failures after which a node is dead.
+        node_deadline: Per-sub-request socket deadline (seconds).
+        retries: Extra attempts per shard after the primary fails (the
+            "one retry" contract; each attempt goes to the next live
+            replica).
+        scatter_threads: Scatter pool size; None picks
+            ``min(64, shards * 8)``.
+        result_cache_capacity: Router response LRU entries (0 disables).
+        initial_epoch: Dataset epoch the fleet booted with.
+    """
+
+    shards: int = 2
+    max_radius: Optional[float] = None
+    heartbeat_interval: float = 2.0
+    liveness_timeout: float = 6.0
+    max_misses: int = 3
+    node_deadline: float = 10.0
+    retries: int = 1
+    scatter_threads: Optional[int] = None
+    result_cache_capacity: int = 256
+    initial_epoch: str = BOOT_EPOCH
+
+
+@dataclass
+class _ClusterCounters:
+    """Mutable request accounting (guarded by the router lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    swaps: int = 0
+    failovers: int = 0
+    degraded_responses: int = 0
+    resyncs: int = 0
+
+
+class ClusterRouter:
+    """HTTP scatter-gather front-end over process-isolated shard nodes."""
+
+    def __init__(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        nodes: Sequence[NodeSpec],
+        cluster: Optional[ClusterConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        """Register the fleet and derive request defaults from the dataset.
+
+        The router holds the full current snapshot (it needs it to resync
+        stale nodes and to repartition on swaps) but runs no engine of its
+        own -- all query work happens on the nodes.
+
+        Args:
+            data_objects: The full object dataset the fleet booted with.
+            feature_objects: The full feature dataset.
+            nodes: One spec per node endpoint; every shard index in
+                ``[0, shards)`` should appear at least once (a shard with
+                no node can only ever be answered in degraded mode).
+            cluster: Cluster knobs (defaults to :class:`ClusterConfig`).
+            engine_config: Used only to resolve request defaults
+                (grid size) identically to the nodes'.
+            service_config: Used for request defaults and the router
+                result-cache capacity override (``result_cache_capacity``
+                on ``cluster`` wins).
+
+        Raises:
+            ValueError: for an empty fleet, a bad shard count, or a node
+                spec outside ``[0, shards)``.
+            InvalidQueryError: for a negative ``max_radius``.
+        """
+        self.cluster = cluster or ClusterConfig()
+        if self.cluster.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.cluster.shards}")
+        if not nodes:
+            raise ValueError("a cluster router needs at least one node")
+        for spec in nodes:
+            if not 0 <= spec.shard_index < self.cluster.shards:
+                raise ValueError(
+                    f"node {spec.url!r} serves shard {spec.shard_index}, "
+                    f"outside [0, {self.cluster.shards})"
+                )
+        if self.cluster.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.cluster.retries}")
+        self._engine_config = engine_config or EngineConfig()
+        self._service_config = service_config or ServiceConfig()
+        self._plan = partition_datasets(
+            data_objects,
+            feature_objects,
+            self.cluster.shards,
+            max_radius=self.cluster.max_radius,
+        )
+        self._current_data: List[DataObject] = list(data_objects)
+        self._current_features: List[FeatureObject] = list(feature_objects)
+        self._membership = ClusterMembership(
+            MembershipConfig(
+                max_misses=self.cluster.max_misses,
+                liveness_timeout=self.cluster.liveness_timeout,
+            )
+        )
+        for spec in nodes:
+            self._membership.register(
+                spec.url, spec.shard_index, dataset_epoch=self.cluster.initial_epoch
+            )
+        self._epoch = self.cluster.initial_epoch
+        self._defaults = resolve_request_defaults(
+            self._plan.extent, self._engine_config.grid_size, self._service_config
+        )
+        self._cache = ResultCache(self.cluster.result_cache_capacity)
+        self._latency = LatencyHistogram()
+        self._counters = _ClusterCounters()
+        self._dataset_version = 0
+        self._lock = threading.Lock()
+        #: Serializes hot swaps (and resyncs) against each other.
+        self._swap_lock = threading.Lock()
+        #: Quiesce gate: while ``_paused`` no new request scatters.
+        self._gate = threading.Condition()
+        self._paused = False
+        self._inflight = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = False
+        self._started_monotonic: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> "ClusterRouter":
+        """Probe the fleet once, start the scatter pool and heartbeats."""
+        with self._lock:
+            if self._started or self._closed:
+                return self
+            self._started = True
+            self._started_monotonic = time.monotonic()
+        workers = self.cluster.scatter_threads or min(
+            64, self.cluster.shards * 8
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-cluster-scatter"
+        )
+        # A synchronous first round: node identities and epochs are known
+        # before the first request is routed.
+        self.probe_now()
+        if self.cluster.heartbeat_interval > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._run_heartbeats,
+                name="repro-cluster-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Drain in-flight requests, stop heartbeats and the pool.
+
+        The node processes are *not* owned by the router (``repro serve
+        --cluster`` owns the subprocesses it spawned; remote nodes are
+        somebody else's); shutting the router down leaves them serving.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join()
+        with self._gate:
+            while self._inflight:
+                self._gate.wait()
+        with self._swap_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has been called."""
+        return self._closed
+
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it); lock-free."""
+        started = self._started_monotonic
+        return time.monotonic() - started if started is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # heartbeats / membership
+
+    def _run_heartbeats(self) -> None:
+        interval = self.cluster.heartbeat_interval
+        while not self._heartbeat_stop.wait(interval):
+            try:
+                self.probe_now()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                # A probe round never raises by construction; this is the
+                # belt-and-braces keeping liveness tracking alive anyway.
+                pass
+
+    def probe_now(self) -> Dict[str, str]:
+        """One full heartbeat round; returns ``{url: state}`` afterwards.
+
+        Probes every registered node, applies the liveness timeout, and
+        resynchronises stale-epoch nodes (alive nodes whose last reported
+        dataset epoch is not the router's current one -- they were dead
+        through a swap, or restarted from their boot file).  Called by the
+        heartbeat thread on its cadence, and directly by tests/operators
+        for a deterministic round.
+        """
+        for url in self._membership.urls():
+            self._probe_node(url)
+        self._membership.sweep()
+        self._resync_stale_nodes()
+        return {
+            row["url"]: row["state"] for row in self._membership.snapshot()
+        }
+
+    def _probe_node(self, url: str) -> None:
+        try:
+            payload = get_json(
+                f"{url}/heartbeat", timeout=self.cluster.node_deadline
+            )
+        except NodeTransportError:
+            self._membership.mark_failure(url)
+            return
+        self._membership.mark_success(
+            url,
+            node_id=str(payload.get("node_id")),
+            dataset_epoch=str(payload.get("dataset_epoch")),
+            dataset_version=payload.get("dataset_version"),
+        )
+
+    def _resync_stale_nodes(self) -> None:
+        """Push the current snapshot to alive nodes reporting an old epoch."""
+        stale = self._membership.stale_nodes(self._epoch)
+        if not stale:
+            return
+        with self._swap_lock:
+            # Re-check under the lock: a concurrent swap may have moved the
+            # epoch (and will resync against the new one itself).
+            stale = self._membership.stale_nodes(self._epoch)
+            for url in stale:
+                if self._push_dataset(url, self._epoch):
+                    with self._lock:
+                        self._counters.resyncs += 1
+
+    def _push_dataset(self, url: str, epoch: str) -> bool:
+        """POST the current full snapshot to one node; True on success."""
+        payload = _dataset_payload(
+            self._current_data, self._current_features, epoch
+        )
+        try:
+            post_json(
+                f"{url}/datasets", payload, timeout=self.cluster.node_deadline
+            )
+        except NodeTransportError:
+            self._membership.mark_failure(url)
+            return False
+        except InvalidQueryError:
+            # A node that rejects the snapshot (4xx) is misconfigured, not
+            # merely unreachable; it stays excluded by its stale epoch.
+            return False
+        self._membership.mark_success(url, dataset_epoch=epoch)
+        return True
+
+    @property
+    def membership(self) -> ClusterMembership:
+        """The live membership registry (shared with the heartbeat loop)."""
+        return self._membership
+
+    @property
+    def dataset_epoch(self) -> str:
+        """The epoch tag of the snapshot the fleet should be serving."""
+        return self._epoch
+
+    # ------------------------------------------------------------------ #
+    # serving
+
+    def submit(self, spec: Mapping[str, object]) -> Dict[str, object]:
+        """Serve one request object; returns its response payload.
+
+        Identical request/response contract to ``QueryService.submit``
+        plus the cluster additions: over-``max_radius`` queries are
+        rejected, and when one or more shards have no live replica the
+        payload carries ``"degraded": true`` with ``"shards_answered"`` /
+        ``"shards_missing"`` listed.
+
+        Raises:
+            InvalidQueryError: for an invalid request or an over-radius one.
+            RuntimeError: when the router is not started or already shut
+                down.
+        """
+        parsed = self._parse(spec)
+        return self._serve(parsed)
+
+    def submit_many(
+        self, specs: Sequence[Mapping[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Serve a batch of request objects; responses in input order.
+
+        Validated up front as one batch, then served concurrently on a
+        batch-local pool so the scatter round-trips overlap (same two-level
+        pool structure as the in-process shard router).
+        """
+        parsed_list = [self._parse(spec) for spec in specs]
+        if len(parsed_list) <= 1:
+            return [self._serve(parsed) for parsed in parsed_list]
+        with ThreadPoolExecutor(
+            max_workers=min(len(parsed_list), 8),
+            thread_name_prefix="repro-cluster-batch",
+        ) as pool:
+            return list(pool.map(self._serve, parsed_list))
+
+    def _parse(self, spec: Mapping[str, object]) -> ParsedRequest:
+        parsed = parse_query_spec(spec, self._defaults, ALGORITHM_CHOICES)
+        validate_algorithm_combination(
+            parsed.item.algorithm, parsed.item.score_mode
+        )
+        max_radius = self.cluster.max_radius
+        if max_radius is not None and parsed.item.query.radius > max_radius:
+            raise InvalidQueryError(
+                f"query radius {parsed.item.query.radius} exceeds the cluster "
+                f"replication radius (max_radius={max_radius}); features "
+                "beyond it were not replicated across shard boundaries, so "
+                "the cluster cannot answer this query exactly"
+            )
+        return parsed
+
+    def _serve(self, parsed: ParsedRequest) -> Dict[str, object]:
+        started = time.monotonic()
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("the query service is not started")
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+            self._counters.submitted += 1
+        with self._gate:
+            while self._paused:
+                self._gate.wait()
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+            self._inflight += 1
+        try:
+            response = self._serve_gated(parsed)
+        except BaseException:
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        finally:
+            with self._gate:
+                self._inflight -= 1
+                self._gate.notify_all()
+        self._latency.record(time.monotonic() - started)
+        with self._lock:
+            self._counters.completed += 1
+        return response
+
+    def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
+        """Cache probe + HTTP scatter-gather; runs inside the quiesce gate."""
+        key = parsed.canonical_key(self._dataset_version)
+        if self._cache.enabled:
+            payload = self._cache.get(key)
+            if payload is not None:
+                payload["cached"] = True
+                if not parsed.include_stats:
+                    payload.pop("stats", None)
+                with self._lock:
+                    self._counters.cache_hits += 1
+                return payload
+
+        answered, missing = self._scatter(parsed)
+        full = self._gather(parsed, answered, missing)
+        if not missing:
+            # A degraded (partial) answer must never be served to a later
+            # healthy request from the cache.
+            self._cache.put(key, full)
+        response = dict(full)
+        if not parsed.include_stats:
+            response.pop("stats", None)
+        return response
+
+    def _resolved_spec(self, parsed: ParsedRequest) -> Dict[str, object]:
+        """The fully resolved spec scattered to the nodes (always with stats)."""
+        item = parsed.item
+        return {
+            "keywords": sorted(item.query.keywords),
+            "k": item.query.k,
+            "radius": item.query.radius,
+            "algorithm": item.algorithm,
+            "grid_size": item.grid_size,
+            "score_mode": item.score_mode,
+            "stats": True,
+        }
+
+    def _scatter(
+        self, parsed: ParsedRequest
+    ) -> Tuple[List[Tuple[int, Dict[str, object]]], List[int]]:
+        """Fan out to every data-bearing shard; returns (answered, missing)."""
+        spec = self._resolved_spec(parsed)
+        targets = [
+            shard.shard_id for shard in self._plan.shards if not shard.is_empty
+        ]
+        if not targets:
+            return [], []
+        if len(targets) == 1:
+            outcomes = [self._query_shard(targets[0], spec)]
+        else:
+            assert self._pool is not None  # started before requests are gated
+            futures = [
+                self._pool.submit(self._query_shard, shard_id, spec)
+                for shard_id in targets
+            ]
+            outcomes = [future.result() for future in futures]
+        answered: List[Tuple[int, Dict[str, object]]] = []
+        missing: List[int] = []
+        for shard_id, response in zip(targets, outcomes):
+            if response is None:
+                missing.append(shard_id)
+            else:
+                answered.append((shard_id, response))
+        return answered, missing
+
+    def _query_shard(
+        self, shard_index: int, spec: Mapping[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """One shard's sub-request: deadline per attempt, failover retries.
+
+        Tries the shard's routing-eligible replicas in replica-rank order,
+        at most ``1 + retries`` attempts.  A transport failure (refused,
+        reset, timeout, 5xx) demotes the node in the membership and moves
+        on; an application-level 400 is raised to the caller unchanged (a
+        replica would reject it identically).  Returns None when no
+        eligible replica answered -- the degraded case.
+        """
+        candidates = self._membership.candidates(shard_index, self._epoch)
+        attempts = candidates[: 1 + self.cluster.retries]
+        failed: List[str] = []
+        for url in attempts:
+            try:
+                response = post_json(
+                    f"{url}/query", spec, timeout=self.cluster.node_deadline
+                )
+            except NodeTransportError:
+                self._membership.mark_failure(url)
+                failed.append(url)
+                continue
+            self._membership.mark_success(url)
+            if failed:
+                for loser in failed:
+                    self._membership.record_failover(loser)
+                with self._lock:
+                    self._counters.failovers += 1
+            return response
+        return None
+
+    def _gather(
+        self,
+        parsed: ParsedRequest,
+        answered: List[Tuple[int, Dict[str, object]]],
+        missing: List[int],
+    ) -> Dict[str, object]:
+        """Merge per-shard partials; attach cluster stats and degraded marks."""
+        partials: List[List[ScoredObject]] = [
+            [
+                ScoredObject(
+                    DataObject(oid=entry["oid"], x=entry["x"], y=entry["y"]),
+                    entry["score"],
+                )
+                for entry in response["results"]
+            ]
+            for _, response in answered
+        ]
+        entries = merge_top_k(partials, parsed.item.query.k)
+        stats = self._aggregate_stats(parsed, answered, missing)
+        stats_parsed = ParsedRequest(item=parsed.item, include_stats=True)
+        payload = result_payload(stats_parsed, QueryResult(entries, stats=stats))
+        if missing:
+            payload["degraded"] = True
+            payload["shards_answered"] = sorted(
+                shard_id for shard_id, _ in answered
+            )
+            payload["shards_missing"] = sorted(missing)
+            with self._lock:
+                self._counters.degraded_responses += 1
+        return payload
+
+    def _aggregate_stats(
+        self,
+        parsed: ParsedRequest,
+        answered: List[Tuple[int, Dict[str, object]]],
+        missing: List[int],
+    ) -> Dict[str, object]:
+        """Cluster stats tree: sums of shard work, makespan of shard time."""
+        stats: Dict[str, object] = {
+            "algorithm": parsed.item.algorithm,
+            "grid_size": parsed.item.grid_size,
+        }
+        summed = (
+            "shuffled_records",
+            "features_pruned",
+            "features_examined",
+            "score_computations",
+        )
+        totals: Dict[str, float] = dict.fromkeys(summed, 0)
+        makespan = 0.0
+        planned: Dict[str, str] = {}
+        for shard_id, response in answered:
+            shard_stats = response.get("stats", {})
+            for name in summed:
+                if name in shard_stats:
+                    totals[name] += shard_stats[name]
+            makespan = max(makespan, shard_stats.get("simulated_seconds", 0.0))
+            if "planned_algorithm" in response:
+                planned[str(shard_id)] = response["planned_algorithm"]
+            if "backend" in shard_stats and "backend" not in stats:
+                stats["backend"] = shard_stats["backend"]
+                stats["workers"] = shard_stats.get("workers")
+        stats.update(totals)
+        stats["simulated_seconds"] = makespan
+        stats["cluster"] = {
+            "shards_queried": len(answered),
+            "shards_missing": sorted(missing),
+            "degraded": bool(missing),
+            "dataset_version": self._dataset_version,
+            "dataset_epoch": self._epoch,
+            "planned_algorithms": planned or None,
+        }
+        if planned and len(set(planned.values())) == 1:
+            stats["planned_algorithm"] = next(iter(planned.values()))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # datasets
+
+    def swap_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> Dict[str, object]:
+        """Hot-swap the dataset across the whole fleet; returns snapshot info.
+
+        The cluster extension of the two-level quiesce protocol:
+
+        1. the router gate pauses (in-flight scatter-gathers drain, new
+           requests queue);
+        2. a new epoch tag is minted and the full snapshot is pushed to
+           every non-dead node (``POST /datasets`` with the epoch); each
+           node repartitions deterministically and swaps its slice under
+           its own quiesce gate;
+        3. the router dataset version bumps (cache entries become
+           unreachable), defaults re-derive from the new extent, and the
+           gate reopens.
+
+        A node the push could not reach keeps its old epoch: it is
+        excluded from routing (its shard's other replicas answer, or the
+        shard goes degraded) until the heartbeat loop resynchronises it.
+        """
+        with self._swap_lock:
+            with self._gate:
+                self._paused = True
+                while self._inflight:
+                    self._gate.wait()
+            try:
+                plan = partition_datasets(
+                    data_objects,
+                    feature_objects,
+                    self.cluster.shards,
+                    max_radius=self.cluster.max_radius,
+                )
+                version = self._dataset_version + 1
+                epoch = f"v{version}"
+                self._current_data = list(data_objects)
+                self._current_features = list(feature_objects)
+                for url in self._membership.urls():
+                    if self._membership.status_of(url).state == "dead":
+                        continue
+                    self._push_dataset(url, epoch)
+                self._plan = plan
+                self._dataset_version = version
+                self._epoch = epoch
+                self._cache.invalidate()
+                self._defaults = resolve_request_defaults(
+                    plan.extent,
+                    self._engine_config.grid_size,
+                    self._service_config,
+                )
+                with self._lock:
+                    self._counters.swaps += 1
+            finally:
+                with self._gate:
+                    self._paused = False
+                    self._gate.notify_all()
+        return self.dataset_info()
+
+    def set_datasets(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+    ) -> None:
+        """Alias of :meth:`swap_datasets` (the :class:`QueryService` name)."""
+        self.swap_datasets(data_objects, feature_objects)
+
+    def dataset_info(self) -> Dict[str, object]:
+        """Version, epoch and sizes of the current (full) dataset snapshot."""
+        return {
+            "version": self._dataset_version,
+            "dataset_epoch": self._epoch,
+            "data_objects": len(self._current_data),
+            "feature_objects": len(self._current_features),
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def plan(self) -> ShardingPlan:
+        """The current partitioning plan (replaced wholesale by hot swaps)."""
+        return self._plan
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate router statistics (the cluster ``GET /stats`` payload).
+
+        Local-only by design: the tree is built from the router's own
+        counters and the membership registry -- no node round-trips, so
+        ``/stats`` stays cheap and answers even with the fleet down.
+        Per-node counter trees live on the nodes' own ``GET /stats``.
+        """
+        with self._lock:
+            counters = _ClusterCounters(**vars(self._counters))
+        plan_stats = self._plan.stats
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "started": self._started,
+            "closed": self._closed,
+            "requests": {
+                "submitted": counters.submitted,
+                "completed": counters.completed,
+                "failed": counters.failed,
+                "result_cache_hits": counters.cache_hits,
+                "failovers": counters.failovers,
+                "degraded_responses": counters.degraded_responses,
+            },
+            "latency": self._latency.snapshot(),
+            "result_cache": {
+                "capacity": self._cache.capacity,
+                "size": len(self._cache),
+                **self._cache.stats.as_dict(),
+            },
+            "cluster": {
+                "shards": plan_stats.num_shards,
+                "layout": list(plan_stats.layout),
+                "max_radius": self.cluster.max_radius,
+                "nodes": self._membership.snapshot(),
+                "alive_nodes": self._membership.alive_count(),
+                "dataset_epoch": self._epoch,
+                "heartbeat_interval_seconds": self.cluster.heartbeat_interval,
+                "liveness_timeout_seconds": self.cluster.liveness_timeout,
+                "max_misses": self.cluster.max_misses,
+                "node_deadline_seconds": self.cluster.node_deadline,
+                "retries": self.cluster.retries,
+                "resyncs": counters.resyncs,
+                "feature_replication_factor": plan_stats.replication_factor,
+                "grid_aligned_default": self._plan.grid_aligned(
+                    self._defaults.grid_size
+                ),
+            },
+            "dataset": {**self.dataset_info(), "swaps": counters.swaps},
+            "defaults": vars(self._defaults),
+        }
+
+
+def _dataset_payload(
+    data_objects: Sequence[DataObject],
+    feature_objects: Sequence[FeatureObject],
+    epoch: str,
+) -> Dict[str, object]:
+    """The inline ``POST /datasets`` body for one full snapshot + epoch."""
+    return {
+        "epoch": epoch,
+        "data_objects": [
+            {"oid": obj.oid, "x": obj.x, "y": obj.y} for obj in data_objects
+        ],
+        "feature_objects": [
+            {
+                "oid": obj.oid,
+                "x": obj.x,
+                "y": obj.y,
+                "keywords": sorted(obj.keywords),
+            }
+            for obj in feature_objects
+        ],
+    }
+
+
+__all__ = ["ClusterConfig", "ClusterRouter", "NodeSpec"]

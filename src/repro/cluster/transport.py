@@ -1,0 +1,108 @@
+"""Minimal JSON-over-HTTP client the cluster router speaks to its nodes.
+
+Stdlib only (:mod:`urllib.request`), like the server side: the cluster adds
+no dependencies the container does not already have.  The one piece of
+policy lives here, in the error taxonomy -- every failure a node request
+can produce is folded into exactly two kinds:
+
+* :class:`~repro.exceptions.InvalidQueryError` for an application-level
+  4xx: the *request* is bad, every replica would reject it identically, so
+  failing over would only repeat the rejection.  The node's own error
+  message is surfaced unchanged.
+* :class:`NodeTransportError` for everything else -- connection refused or
+  reset, DNS failure, socket deadline, a 5xx, or an unparseable body: the
+  *node* is bad (or unreachable), the request may well succeed on a
+  replica, and the membership registry should hear about it.
+
+This split is what makes the router's failover loop correct: it retries on
+:class:`NodeTransportError` and propagates :class:`InvalidQueryError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import InvalidQueryError
+
+
+class NodeTransportError(Exception):
+    """A node request failed in a way a replica retry might fix."""
+
+
+def get_json(url: str, timeout: float) -> Dict[str, object]:
+    """GET ``url`` and decode the JSON body.
+
+    Raises:
+        NodeTransportError: on any connection, deadline, 5xx or decode
+            failure.
+        InvalidQueryError: on an application-level 4xx.
+    """
+    return _request_json(url, None, timeout)
+
+
+def post_json(
+    url: str, payload: Mapping[str, object], timeout: float
+) -> Dict[str, object]:
+    """POST ``payload`` as JSON to ``url`` and decode the JSON body.
+
+    Raises:
+        NodeTransportError: on any connection, deadline, 5xx or decode
+            failure.
+        InvalidQueryError: on an application-level 4xx.
+    """
+    return _request_json(url, payload, timeout)
+
+
+def _request_json(
+    url: str, payload: Optional[Mapping[str, object]], timeout: float
+) -> Dict[str, object]:
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        # HTTPError subclasses URLError; it must be handled first.
+        body = exc.read()
+        if 400 <= exc.code < 500:
+            raise InvalidQueryError(_error_message(body, exc.code)) from exc
+        raise NodeTransportError(
+            f"node returned HTTP {exc.code} for {url}: "
+            f"{_error_message(body, exc.code)}"
+        ) from exc
+    except (urllib.error.URLError, http.client.HTTPException, OSError) as exc:
+        # Connection refused/reset, DNS, socket deadline, protocol garbage.
+        raise NodeTransportError(f"node request to {url} failed: {exc}") from exc
+    try:
+        decoded = json.loads(body)
+    except ValueError as exc:
+        raise NodeTransportError(
+            f"node returned a non-JSON body for {url}"
+        ) from exc
+    if not isinstance(decoded, dict):
+        raise NodeTransportError(
+            f"node returned a non-object JSON body for {url}"
+        )
+    return decoded
+
+
+def _error_message(body: bytes, code: int) -> str:
+    """The node's ``{"error": ...}`` message, or a fallback per status."""
+    try:
+        decoded = json.loads(body)
+    except ValueError:
+        return f"HTTP {code}"
+    if isinstance(decoded, dict) and isinstance(decoded.get("error"), str):
+        return decoded["error"]
+    return f"HTTP {code}"
+
+
+__all__ = ["NodeTransportError", "get_json", "post_json"]

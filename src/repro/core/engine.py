@@ -73,6 +73,60 @@ _JOB_CLASSES = {
     "espq-sco": ESPQScoJob,
 }
 
+
+def validate_algorithm_combination(
+    algorithm: str, score_mode: str, planner_mode: str = "on"
+) -> None:
+    """Reject unsupported algorithm / score-mode combinations up front.
+
+    Module-level so front-ends that run no local engine -- the cluster
+    router validates requests before scattering them over HTTP -- apply
+    exactly the rules :meth:`SPQEngine.validate_combination` (which
+    delegates here) enforces on the nodes.
+
+    Args:
+        algorithm: One of :data:`ALGORITHM_CHOICES`.
+        score_mode: ``"range"`` / ``"influence"`` / ``"nearest"``.
+        planner_mode: The resolved planner mode; ``"auto"`` requires
+            ``"on"``.
+
+    Raises:
+        InvalidQueryError: for an unknown algorithm or score mode, an
+            unsupported combination, or ``"auto"`` with the planner
+            disabled.
+    """
+    if algorithm not in ALGORITHM_CHOICES:
+        raise InvalidQueryError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"
+        )
+    if algorithm == AUTO_ALGORITHM:
+        if score_mode != "range":
+            raise InvalidQueryError(
+                "algorithm='auto' plans only the 'range' score mode (the "
+                "early-termination algorithms it chooses between are "
+                "defined for 'range' only); pick an algorithm explicitly"
+            )
+        if planner_mode != "on":
+            raise InvalidQueryError(
+                "algorithm='auto' requires the cost-based planner, which "
+                "is disabled (planner_mode / $REPRO_PLANNER is 'off')"
+            )
+        return
+    if algorithm == "centralized":
+        return
+    if score_mode != "range" and algorithm != "pspq":
+        raise InvalidQueryError(
+            f"algorithm {algorithm!r} supports only the 'range' score mode"
+        )
+    if score_mode == "nearest":
+        raise InvalidQueryError(
+            "the 'nearest' score mode is only available with algorithm='centralized'"
+        )
+    if algorithm == "pspq" and score_mode not in ("range", "influence"):
+        raise InvalidQueryError(
+            f"pspq supports score modes 'range' and 'influence', got {score_mode!r}"
+        )
+
 #: Counter group/name used to report index-side pruning (kept in sync with
 #: the map-side counter so stats look the same on both execution paths).
 _SPQ_GROUP = "spq"
@@ -568,37 +622,9 @@ class SPQEngine:
                 unsupported combination, or ``"auto"`` with the planner
                 disabled.
         """
-        if algorithm not in ALGORITHM_CHOICES:
-            raise InvalidQueryError(
-                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"
-            )
-        if algorithm == AUTO_ALGORITHM:
-            if score_mode != "range":
-                raise InvalidQueryError(
-                    "algorithm='auto' plans only the 'range' score mode (the "
-                    "early-termination algorithms it chooses between are "
-                    "defined for 'range' only); pick an algorithm explicitly"
-                )
-            if self.planner_mode != "on":
-                raise InvalidQueryError(
-                    "algorithm='auto' requires the cost-based planner, which "
-                    "is disabled (planner_mode / $REPRO_PLANNER is 'off')"
-                )
-            return
-        if algorithm == "centralized":
-            return
-        if score_mode != "range" and algorithm != "pspq":
-            raise InvalidQueryError(
-                f"algorithm {algorithm!r} supports only the 'range' score mode"
-            )
-        if score_mode == "nearest":
-            raise InvalidQueryError(
-                "the 'nearest' score mode is only available with algorithm='centralized'"
-            )
-        if algorithm == "pspq" and score_mode not in ("range", "influence"):
-            raise InvalidQueryError(
-                f"pspq supports score modes 'range' and 'influence', got {score_mode!r}"
-            )
+        validate_algorithm_combination(
+            algorithm, score_mode, planner_mode=self.planner_mode
+        )
 
     def _execute_centralized(
         self, query: SpatialPreferenceQuery, score_mode: str

@@ -15,6 +15,7 @@ from repro.planner.persistence import (
     load_calibration,
     restore_calibration,
     save_calibration,
+    scoped_calibration_path,
     try_restore_calibration,
 )
 from repro.planner.core import (
@@ -55,6 +56,7 @@ __all__ = [
     "resolve_planner_mode",
     "restore_calibration",
     "save_calibration",
+    "scoped_calibration_path",
     "signature_of",
     "try_restore_calibration",
 ]

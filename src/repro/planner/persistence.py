@@ -148,3 +148,20 @@ def try_restore_calibration(
     except CalibrationStateError as exc:
         return str(exc)
     return None
+
+
+def scoped_calibration_path(path: str, scope: str) -> str:
+    """The per-scope snapshot location derived from one base path.
+
+    Calibration is learned from the data a planner actually sees, so every
+    scope that sees different data (or a different process) persists its
+    own snapshot next to the base path: in-process shards use scope
+    ``shard<i>`` (the ``<base>.shard<i>`` layout documented in
+    ``docs/service.md``), cluster nodes use ``node<i>-<r>`` -- replica
+    processes of one shard must not clobber each other's checkpoints.
+    """
+    if not path:
+        raise ValueError("a base calibration path is required")
+    if not scope:
+        raise ValueError("a non-empty scope is required")
+    return f"{path}.{scope}"

@@ -14,12 +14,21 @@ Endpoints (see ``docs/service.md`` for the full protocol reference):
 * ``GET /stats``     -- the service's full counter tree (requests, latency
   histograms, batching, result/index caches, planner persistence and --
   when sharded -- the router + per-shard subtrees).
+* ``GET /heartbeat`` -- cluster-node identity probe (node id, shard index,
+  dataset epoch/version); only served when the bound service exposes a
+  ``heartbeat()`` method (shard nodes do), ``404`` otherwise.
 
-The bound service is either a :class:`~repro.server.service.QueryService`
-or a :class:`~repro.sharding.router.ShardRouter` (``repro serve
---shards N``); both expose the same serving surface (``submit``,
-``submit_many``, ``stats``, ``uptime_seconds``, ``swap_datasets``), so the
-handler never branches on which it is.
+The bound service is a :class:`~repro.server.service.QueryService`, a
+:class:`~repro.sharding.router.ShardRouter` (``repro serve --shards N``),
+a :class:`~repro.cluster.router.ClusterRouter` (``--cluster N``) or a
+:class:`~repro.cluster.node.ShardNodeService` (``repro shard-node``); all
+expose the same serving surface (``submit``, ``submit_many``, ``stats``,
+``uptime_seconds``, ``swap_datasets``), so the handler never branches on
+which it is.  Cluster-specific capabilities are duck-typed the same way:
+a service with a ``heartbeat`` method gets the ``/heartbeat`` route, and a
+service declaring ``accepts_dataset_epoch`` may receive the optional
+``"epoch"`` field on ``POST /datasets`` (the cluster router tags fleet-wide
+swaps with it).
 
 Built on :class:`http.server.ThreadingHTTPServer` -- one thread per
 connection, no third-party dependencies -- which is exactly what the
@@ -85,7 +94,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # routing
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve ``/healthz`` and ``/stats``."""
+        """Serve ``/healthz``, ``/stats`` and (on shard nodes) ``/heartbeat``."""
         if self.path == "/healthz":
             self._send_json(200, {
                 "status": "ok",
@@ -93,6 +102,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             })
         elif self.path == "/stats":
             self._send_json(200, self.server.service.stats())
+        elif self.path == "/heartbeat":
+            heartbeat = getattr(self.server.service, "heartbeat", None)
+            if callable(heartbeat):
+                self._send_json(200, heartbeat())
+            else:
+                self._send_json(404, error_payload(
+                    "this server is not a cluster shard node"
+                ))
         elif self.path in ("/query", "/batch", "/datasets"):
             self._send_json(405, error_payload(f"use POST for {self.path}"))
         else:
@@ -106,7 +123,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._handle_batch()
         elif self.path == "/datasets":
             self._handle_datasets()
-        elif self.path in ("/healthz", "/stats"):
+        elif self.path in ("/healthz", "/stats", "/heartbeat"):
             self._send_json(405, error_payload(f"use GET for {self.path}"))
         else:
             self._send_json(404, error_payload(f"unknown path {self.path!r}"))
@@ -161,13 +178,33 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             self._send_json(400, error_payload(f"invalid JSON: {exc}"))
             return
+        epoch: Optional[str] = None
+        if (
+            getattr(self.server.service, "accepts_dataset_epoch", False)
+            and isinstance(spec, Mapping)
+            and "epoch" in spec
+        ):
+            # Shard nodes accept the router's epoch tag alongside either
+            # body shape; plain services reject it as an unknown field.
+            spec = dict(spec)
+            epoch = spec.pop("epoch")
+            if not isinstance(epoch, str) or not epoch:
+                self._send_json(400, error_payload(
+                    f"'epoch' must be a non-empty string, got {epoch!r}"
+                ))
+                return
         try:
             data, features = _parse_dataset_spec(spec)
         except ValueError as exc:
             self._send_json(400, error_payload(str(exc)))
             return
         try:
-            info = self.server.service.swap_datasets(data, features)
+            if epoch is not None:
+                info = self.server.service.swap_datasets(
+                    data, features, epoch=epoch
+                )
+            else:
+                info = self.server.service.swap_datasets(data, features)
         except ReproError as exc:
             self._send_json(400, error_payload(str(exc)))
             return

@@ -54,6 +54,7 @@ STATS_KEYS = (
     "planner_calibrated",
     "index",
     "sharding",
+    "cluster",
 )
 
 #: Request fields the parser understands; anything else is rejected so a

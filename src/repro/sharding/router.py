@@ -42,6 +42,7 @@ from repro.core.engine import ALGORITHM_CHOICES, EngineConfig
 from repro.exceptions import InvalidQueryError
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.planner.persistence import scoped_calibration_path
 from repro.server.cache import ResultCache
 from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
@@ -160,7 +161,10 @@ class ShardRouter:
         config = dataclasses.replace(self._service_config, result_cache_capacity=0)
         if config.calibration_path:
             config = dataclasses.replace(
-                config, calibration_path=f"{config.calibration_path}.shard{shard_id}"
+                config,
+                calibration_path=scoped_calibration_path(
+                    config.calibration_path, f"shard{shard_id}"
+                ),
             )
         return config
 

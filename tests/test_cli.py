@@ -568,12 +568,10 @@ class TestServeCommand:
         """Full restart path via real processes: serve, query, SIGTERM,
         serve again, verify the calibration snapshot was restored."""
         import os
+        import re
         import signal
-        import socket
         import subprocess
         import sys as _sys
-        import time as _time
-        import urllib.error
         import urllib.request
 
         import repro
@@ -584,37 +582,39 @@ class TestServeCommand:
         env.pop("REPRO_PLANNER", None)
         calibration = tmp_path / "calibration.json"
 
-        def free_port() -> int:
-            with socket.socket() as sock:
-                sock.bind(("127.0.0.1", 0))
-                return sock.getsockname()[1]
-
-        def wait_healthy(port: int, process) -> None:
-            for _ in range(100):
-                assert process.poll() is None, process.stderr.read().decode()
-                try:
-                    urllib.request.urlopen(
-                        f"http://127.0.0.1:{port}/healthz", timeout=1
-                    )
-                    return
-                except (urllib.error.URLError, OSError):
-                    _time.sleep(0.1)
-            raise AssertionError("server never became healthy")
-
-        def run_server(port: int):
+        def run_server():
+            # --port 0: the OS assigns a free port, read back from the
+            # startup banner -- no bind-close-reuse race on shared runners.
             return subprocess.Popen(
                 [_sys.executable, "-m", "repro", "serve",
-                 "--input", str(dataset_file), "--port", str(port),
+                 "--input", str(dataset_file), "--port", "0",
                  "--grid-size", "8", "--engines", "1",
                  "--calibration-path", str(calibration),
                  "--checkpoint-interval", "0"],
                 env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             )
 
-        port = free_port()
-        process = run_server(port)
+        startup_lines: list = []
+
+        def wait_listening(process) -> int:
+            """Parse the OS-assigned port from the startup banner."""
+            startup_lines.clear()
+            for raw in process.stdout:
+                line = raw.decode()
+                startup_lines.append(line)
+                match = re.search(
+                    r"listening on http://127\.0\.0\.1:(\d+)", line
+                )
+                if match:
+                    return int(match.group(1))
+            raise AssertionError(
+                "server exited before listening: "
+                + process.stderr.read().decode()
+            )
+
+        process = run_server()
         try:
-            wait_healthy(port, process)
+            port = wait_listening(process)
             body = json.dumps({
                 "keywords": ["w0001"], "k": 3, "algorithm": "auto",
             }).encode()
@@ -628,14 +628,12 @@ class TestServeCommand:
             process.send_signal(signal.SIGTERM)
             out, err = process.communicate(timeout=20)
         assert process.returncode == 0, err.decode()
-        assert "listening on" in out.decode()
         assert "calibration saved" in out.decode()
         assert calibration.exists()
 
-        port = free_port()
-        process = run_server(port)
+        process = run_server()
         try:
-            wait_healthy(port, process)
+            port = wait_listening(process)
             with urllib.request.urlopen(
                 f"http://127.0.0.1:{port}/stats", timeout=5
             ) as reply:
@@ -646,4 +644,95 @@ class TestServeCommand:
             process.send_signal(signal.SIGTERM)
             out, err = process.communicate(timeout=20)
         assert process.returncode == 0, err.decode()
-        assert "calibration restored" in out.decode()
+        assert "calibration restored" in "".join(startup_lines) + out.decode()
+
+
+class TestClusterCommands:
+    """`repro serve --cluster` and `repro shard-node`."""
+
+    @pytest.fixture()
+    def dataset_file(self, tmp_path):
+        output = tmp_path / "un.tsv"
+        main(["generate", "--dataset", "uniform", "--objects", "300",
+              "--output", str(output)])
+        return output
+
+    def test_parser_cluster_defaults(self):
+        args = build_parser().parse_args(["serve", "--input", "x.tsv"])
+        assert args.cluster == 0
+        assert args.replication == 1
+        assert args.heartbeat_interval == 2.0
+        assert args.liveness_timeout == 6.0
+        assert args.node_deadline == 10.0
+
+    def test_parser_shard_node_binds_port_zero_by_default(self):
+        args = build_parser().parse_args([
+            "shard-node", "--input", "x.tsv",
+            "--shard-index", "1", "--shards", "4",
+        ])
+        assert args.port == 0
+        assert args.result_cache == 0
+        assert args.dataset_epoch == "boot"
+
+    def test_cluster_and_shards_are_mutually_exclusive(
+        self, dataset_file, capsys
+    ):
+        code = main([
+            "serve", "--input", str(dataset_file),
+            "--cluster", "2", "--shards", "2",
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_cluster_rejects_bad_replication(self, dataset_file, capsys):
+        code = main([
+            "serve", "--input", str(dataset_file),
+            "--cluster", "2", "--replication", "0",
+        ])
+        assert code == 2
+        assert "--replication" in capsys.readouterr().err
+
+    def test_shard_node_rejects_bad_index(self, dataset_file, capsys):
+        code = main([
+            "shard-node", "--input", str(dataset_file),
+            "--shard-index", "3", "--shards", "2",
+        ])
+        assert code == 2
+        assert "shard_index" in capsys.readouterr().err
+
+    def test_shard_node_in_process(self, dataset_file, capsys, monkeypatch):
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        code = main([
+            "shard-node", "--input", str(dataset_file),
+            "--shard-index", "0", "--shards", "2",
+            "--grid-size", "8", "--engines", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro shard-node: shard 0/2 listening on http://" in out
+        assert "GET /heartbeat" in out
+
+    def test_serve_cluster_spawns_fleet_in_process(
+        self, dataset_file, capsys, monkeypatch
+    ):
+        """--cluster spawns real node subprocesses, then cleans them up."""
+        from repro.server.http import QueryHTTPServer
+
+        monkeypatch.setattr(
+            QueryHTTPServer, "serve_forever", lambda self, poll_interval=0.1: None
+        )
+        code = main([
+            "serve", "--input", str(dataset_file), "--port", "0",
+            "--cluster", "2", "--replication", "1",
+            "--grid-size", "8", "--engines", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) x 1 replica(s)" in out
+        assert "2 shards x 1 replicas" in out
+        assert "node shard 0 replica 0" in out
+        assert "node shard 1 replica 0" in out
