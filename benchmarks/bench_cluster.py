@@ -30,6 +30,12 @@ a :class:`~repro.cluster.router.ClusterRouter`:
    router must still answer from the surviving shard, explicitly marked
    ``"degraded": true`` with ``"shards_answered"`` / ``"shards_missing"``
    listed.
+4. **Keep-alive reuse** -- the router transport must actually ride warm
+   connections: a probe burst against one node with ``REPRO_KEEPALIVE=on``
+   must reuse its pooled connection for every request after the first,
+   while ``off`` must open one connection per request.  The measured
+   per-request latency of both modes is reported side by side (loopback
+   understates the win; the reuse *counters* are the gate).
 
 Every node binds port 0 and reports its OS-assigned port on its ready
 line, so concurrent CI runs cannot collide.
@@ -438,6 +444,64 @@ def run_failover_phase(
 
 
 # --------------------------------------------------------------------- #
+# phase 4: keep-alive connection reuse
+
+def run_keepalive_phase(
+    input_path, grid_size: int, probes: int, log_dir,
+) -> Dict[str, object]:
+    """Probe one node with keep-alive off vs on; compare latency and reuse.
+
+    The gate is on the counters, not the clock: with reuse on, every probe
+    after the first must ride the pooled connection; with reuse off, the
+    pool must stay untouched.
+    """
+    import os
+
+    from repro.cluster import transport
+
+    nodes = spawn_local_nodes(
+        input_path, 1, grid_size=grid_size, engines=1, log_dir=log_dir,
+    )
+    previous = os.environ.get(transport.KEEPALIVE_ENV)
+    modes: Dict[str, Dict[str, object]] = {}
+    try:
+        url = nodes[0].url + "/healthz"
+        for mode in ("off", "on"):
+            os.environ[transport.KEEPALIVE_ENV] = mode
+            transport.close_pooled_connections()
+            transport.reset_pool_stats()
+            started = time.perf_counter()
+            for _ in range(probes):
+                transport.get_json(url, timeout=10.0)
+            elapsed = time.perf_counter() - started
+            modes[mode] = {
+                "seconds": elapsed,
+                "per_request_us": elapsed / probes * 1e6,
+                "pool": transport.pool_stats(),
+            }
+        transport.close_pooled_connections()
+    finally:
+        if previous is None:
+            os.environ.pop(transport.KEEPALIVE_ENV, None)
+        else:
+            os.environ[transport.KEEPALIVE_ENV] = previous
+        terminate_nodes(nodes)
+    on_pool = modes["on"]["pool"]
+    off_pool = modes["off"]["pool"]
+    return {
+        "probes": probes,
+        "off": modes["off"],
+        "on": modes["on"],
+        "speedup": modes["off"]["seconds"] / max(modes["on"]["seconds"], 1e-9),
+        "reuse_correct": (
+            on_pool["reused"] >= probes - 1
+            and on_pool["opened"] <= 1 + on_pool["stale_retries"]
+            and off_pool["requests"] == 0
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -453,6 +517,8 @@ def main(argv=None) -> int:
                         help="completed requests before the SIGKILL "
                              "(default: requests // 6)")
     parser.add_argument("--node-deadline", type=float, default=10.0)
+    parser.add_argument("--keepalive-probes", type=int, default=200,
+                        help="keep-alive phase: probes per transport mode")
     parser.add_argument("--seed", type=int, default=29)
     parser.add_argument("--json", default=None, help="write the summary JSON here")
     parser.add_argument("--check", action="store_true",
@@ -499,6 +565,17 @@ def main(argv=None) -> int:
           f"missing={degraded_shape['shards_missing']}, "
           f"shape_correct={degraded_shape['shape_correct']}")
 
+    keepalive = run_keepalive_phase(
+        input_path, args.grid_size, args.keepalive_probes,
+        workdir / "keepalive-logs",
+    )
+    print(f"keep-alive phase: {keepalive['probes']} probes, "
+          f"off={keepalive['off']['per_request_us']:.0f}us/req "
+          f"on={keepalive['on']['per_request_us']:.0f}us/req "
+          f"(x{keepalive['speedup']:.2f}), reused "
+          f"{keepalive['on']['pool']['reused']} connections, "
+          f"reuse_correct={keepalive['reuse_correct']}")
+
     summary = {
         "execution": execution_info(),
         "workload": {
@@ -514,6 +591,7 @@ def main(argv=None) -> int:
         "identity": identity,
         "failover": failover,
         "degraded_shape": degraded_shape,
+        "keepalive": keepalive,
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -561,12 +639,19 @@ def main(argv=None) -> int:
                 "degraded-mode response shape is wrong: "
                 f"{json.dumps({k: v for k, v in degraded_shape.items() if k != 'seconds'})}"
             )
+        if not keepalive["reuse_correct"]:
+            failures.append(
+                "keep-alive transport did not reuse connections as required: "
+                f"on={json.dumps(keepalive['on']['pool'])} "
+                f"off={json.dumps(keepalive['off']['pool'])}"
+            )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print("OK: healthy fleet identical to the oracle, SIGKILL under load "
-              "lost nothing, degraded mode is explicit")
+              "lost nothing, degraded mode is explicit, keep-alive reuses "
+              "connections")
     return 0
 
 

@@ -418,6 +418,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_seconds=args.batch_window_ms / 1000.0,
             result_cache_capacity=args.result_cache,
             calibration_path=args.calibration_path,
+            calibration_seed_path=args.calibration_seed,
             checkpoint_interval_seconds=args.checkpoint_interval,
             default_k=args.k,
             default_radius=args.radius,
@@ -603,6 +604,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             engines=args.engines,
             max_radius=args.max_radius,
             calibration_path=args.calibration_path,
+            calibration_seed=args.calibration_seed,
+            dataset=(data, features),
             log_dir=args.node_log_dir,
             extra_args=extra_args,
         )
@@ -656,7 +659,23 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
     from repro.cluster import NodeConfig, ShardNodeService
     from repro.server import ServiceConfig, make_server
 
-    data, features = load_dataset(args.input)
+    data = None
+    dataset_source = f"file {args.input}"
+    if args.dataset_shm:
+        from repro.execution.shm import attach_dataset
+
+        try:
+            data, features = attach_dataset(args.dataset_shm)
+            dataset_source = f"shared-memory segment {args.dataset_shm}"
+        except (OSError, ValueError) as exc:
+            print(
+                f"warning: cannot attach dataset segment "
+                f"{args.dataset_shm!r} ({exc}); loading {args.input}",
+                file=sys.stderr,
+            )
+            data = None
+    if data is None:
+        data, features = load_dataset(args.input)
     if not data:
         print("error: dataset contains no data objects", file=sys.stderr)
         return 2
@@ -667,6 +686,7 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             result_cache_capacity=args.result_cache,
             calibration_path=args.calibration_path,
+            calibration_seed_path=args.calibration_seed,
             checkpoint_interval_seconds=args.checkpoint_interval,
             default_grid_size=args.grid_size,
         )
@@ -692,6 +712,7 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
         return 2
     node.start()
     slice_info = node.dataset_info()
+    print(f"repro shard-node: dataset from {dataset_source}")
     # The spawner tails the log for this exact line to learn the
     # OS-assigned port; keep the "listening on http://..." wording stable.
     print(
@@ -869,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--calibration-path", default=None,
                        help="durable planner-calibration snapshot: restored on "
                             "start, checkpointed while serving, saved on shutdown")
+    serve.add_argument("--calibration-seed", default=None,
+                       help="global calibration snapshot that seeds cold shards/"
+                            "nodes (no scoped snapshot yet); never written to "
+                            "(default: the --calibration-path base itself)")
     serve.add_argument("--checkpoint-interval", type=float, default=60.0,
                        help="calibration checkpoint cadence in seconds "
                             "(0 = save only on shutdown)")
@@ -902,6 +927,11 @@ def build_parser() -> argparse.ArgumentParser:
     shard_node.add_argument("--max-radius", type=float, default=None,
                             help="feature replication radius of the partitioning "
                                  "(must match the router's; default: unbounded)")
+    shard_node.add_argument("--dataset-shm", default=None,
+                            help="name of a shared-memory dataset segment "
+                                 "published by the spawner; attached instead "
+                                 "of parsing --input (which stays the "
+                                 "fallback when the attach fails)")
     shard_node.add_argument("--dataset-epoch", default="boot",
                             help="epoch tag of the boot dataset (the router "
                                  "re-tags it on every hot swap)")
@@ -921,6 +951,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_node.add_argument("--calibration-path", default=None,
                             help="this node's own durable calibration snapshot "
                                  "(the spawner derives <base>.node<i>-<r>)")
+    shard_node.add_argument("--calibration-seed", default=None,
+                            help="snapshot that seeds this node's calibrator "
+                                 "on a cold start (no file at "
+                                 "--calibration-path yet); never written to")
     shard_node.add_argument("--checkpoint-interval", type=float, default=60.0,
                             help="calibration checkpoint cadence in seconds "
                                  "(0 = save only on shutdown)")

@@ -2,10 +2,16 @@
 
 ``repro serve --cluster N`` (and the cluster benchmark/tests) build their
 fleet here: ``N * replication`` OS processes, each running ``repro
-shard-node --shard-index i`` against the same dataset file, each binding
+shard-node --shard-index i`` against the same dataset, each binding
 **port 0** and reporting the OS-assigned port on its stdout "listening on"
 line -- the spawner tails each node's log file until that line appears, so
 no port is ever guessed and two fleets on one CI runner cannot collide.
+
+When the caller already holds the parsed dataset, the spawner publishes it
+once as a shared-memory column segment (``--dataset-shm``) so every node
+attaches and materializes it instead of re-reading and re-parsing the
+dataset file -- node startup cost stops scaling with fleet size, and the
+``--input`` path stays on each command line as the fallback.
 
 Node stdout/stderr go to per-node log files rather than pipes: a pipe
 nobody drains would eventually block the child, and a crashed node's log
@@ -22,8 +28,9 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.execution.shm import publish_dataset_segment, shared_memory_available
 from repro.planner.persistence import scoped_calibration_path
 
 #: The shard-node CLI's ready line; the URL carries the OS-assigned port.
@@ -74,6 +81,8 @@ def spawn_local_nodes(
     engines: Optional[int] = None,
     max_radius: Optional[float] = None,
     calibration_path: Optional[str] = None,
+    calibration_seed: Optional[str] = None,
+    dataset: Optional[Tuple[Sequence, Sequence]] = None,
     log_dir: Optional[os.PathLike] = None,
     extra_args: Sequence[str] = (),
     startup_timeout: float = 30.0,
@@ -81,9 +90,9 @@ def spawn_local_nodes(
     """Launch ``shards * replication`` local shard-node processes.
 
     Every replica of shard ``i`` runs the identical command line (same
-    dataset file, same ``--shard-index i --shards N``), differing only in
-    its per-node calibration path -- the deterministic partitioner makes
-    their slices, and therefore their answers, bit-for-bit identical.
+    dataset, same ``--shard-index i --shards N``), differing only in its
+    per-node calibration path -- the deterministic partitioner makes their
+    slices, and therefore their answers, bit-for-bit identical.
 
     Args:
         input_path: The full dataset file every node loads and slices.
@@ -95,6 +104,18 @@ def spawn_local_nodes(
         max_radius: ``--max-radius`` partitioning radius (None = unbounded).
         calibration_path: Base calibration path; each node persists at
             ``<base>.node<i>-<r>`` (None disables persistence).
+        calibration_seed: Snapshot that seeds every node's calibrator on a
+            cold start (``--calibration-seed``).  Defaults to the base
+            ``calibration_path`` itself, so an operator can warm a whole
+            fresh fleet by dropping one global snapshot at the base path.
+        dataset: The already-parsed ``(data_objects, feature_objects)``.
+            When given and shared memory works here, the spawner publishes
+            the dataset once as a ``repro_dp_*`` segment and passes
+            ``--dataset-shm`` so every node attaches it (an ``shm_open`` +
+            ``mmap``, constant in dataset size) instead of re-reading and
+            re-parsing ``input_path``; the file stays on each command line
+            as the fallback.  The segment is released once every node is up
+            -- nodes attach before printing their ready line.
         log_dir: Directory for per-node log files (a fresh temporary
             directory when None).
         extra_args: Extra ``repro shard-node`` arguments appended verbatim
@@ -125,6 +146,14 @@ def spawn_local_nodes(
     package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     src_dir = os.path.dirname(package_dir)
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    if calibration_seed is None:
+        calibration_seed = calibration_path
+    segment = None
+    if dataset is not None and shared_memory_available():
+        try:
+            segment = publish_dataset_segment(dataset[0], dataset[1])
+        except (OSError, ValueError):
+            segment = None  # nodes fall back to loading the file
     nodes: List[NodeProcess] = []
     try:
         for shard_index in range(shards):
@@ -138,6 +167,8 @@ def spawn_local_nodes(
                     "--host", host,
                     "--port", "0",
                 ]
+                if segment is not None:
+                    command += ["--dataset-shm", segment.name]
                 if grid_size is not None:
                     command += ["--grid-size", str(grid_size)]
                 if engines is not None:
@@ -151,6 +182,8 @@ def spawn_local_nodes(
                             calibration_path, f"node{shard_index}-{replica}"
                         ),
                     ]
+                if calibration_seed is not None:
+                    command += ["--calibration-seed", calibration_seed]
                 command += list(extra_args)
                 with open(log_path, "wb") as log_file:
                     process = subprocess.Popen(
@@ -172,6 +205,12 @@ def spawn_local_nodes(
     except BaseException:
         terminate_nodes(nodes, grace_seconds=0.0)
         raise
+    finally:
+        # Every node's ready line implies it already attached (or fell back
+        # to the file), so the publication can end here either way; the
+        # release unlinks the /dev/shm name.
+        if segment is not None:
+            segment.release()
     return nodes
 
 

@@ -1,9 +1,25 @@
 """Minimal JSON-over-HTTP client the cluster router speaks to its nodes.
 
-Stdlib only (:mod:`urllib.request`), like the server side: the cluster adds
-no dependencies the container does not already have.  The one piece of
-policy lives here, in the error taxonomy -- every failure a node request
-can produce is folded into exactly two kinds:
+Stdlib only (:mod:`http.client` / :mod:`urllib.request`), like the server
+side: the cluster adds no dependencies the container does not already have.
+
+Two pieces of policy live here.  The first is **connection reuse**: every
+router->node round-trip used to pay a fresh TCP handshake (urllib closes
+its connection per request).  The client now keeps one persistent
+HTTP/1.1 connection per ``(thread, host:port)`` pair and reuses it across
+requests -- the router's scatter pool has stable threads, so the pool needs
+no cross-thread locking, and heartbeats, queries and swaps all ride warm
+connections.  A reused connection can always have gone stale (the node
+restarted, an idle timeout fired); the first failure on a *previously
+used* connection is retried exactly once on a fresh connection before it
+is reported, while a failure on a brand-new connection is reported
+immediately -- that one was a real connect/request failure, and retrying
+it would double the router's failover latency for nothing.  Set
+``REPRO_KEEPALIVE=off`` to fall back to one-shot urllib requests;
+:func:`pool_stats` exposes reuse counters for benchmarks and tests.
+
+The second is the error taxonomy -- every failure a node request can
+produce is folded into exactly two kinds:
 
 * :class:`~repro.exceptions.InvalidQueryError` for an application-level
   4xx: the *request* is bad, every replica would reject it identically, so
@@ -22,15 +38,113 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import socket
+import threading
 import urllib.error
 import urllib.request
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
 
 from repro.exceptions import InvalidQueryError
+
+#: Environment toggle: ``off``/``0``/``false`` disables connection reuse
+#: and restores the one-shot urllib path (e.g. to bisect a proxy issue).
+KEEPALIVE_ENV = "REPRO_KEEPALIVE"
 
 
 class NodeTransportError(Exception):
     """A node request failed in a way a replica retry might fix."""
+
+
+def keepalive_enabled() -> bool:
+    """True unless ``REPRO_KEEPALIVE`` disables connection reuse."""
+    value = os.environ.get(KEEPALIVE_ENV, "on").strip().lower()
+    return value not in ("off", "0", "false")
+
+
+# --------------------------------------------------------------------- #
+# per-thread connection pool
+
+#: Thread-local ``netloc -> (connection, completed_requests)`` pool.
+_local = threading.local()
+
+_stats_lock = threading.Lock()
+_stats = {
+    "requests": 0,       # requests sent through the pooled path
+    "reused": 0,         # requests that rode an already-used connection
+    "opened": 0,         # fresh TCP connections established
+    "stale_retries": 0,  # stale pooled connections retried on a fresh one
+}
+
+
+def pool_stats() -> Dict[str, int]:
+    """Process-wide keep-alive counters (all threads' pools combined)."""
+    with _stats_lock:
+        return dict(_stats)
+
+
+def reset_pool_stats() -> None:
+    """Zero the counters (benchmark/test isolation)."""
+    with _stats_lock:
+        for key in _stats:
+            _stats[key] = 0
+
+
+def _bump(key: str) -> None:
+    with _stats_lock:
+        _stats[key] += 1
+
+
+def _pool() -> Dict[str, Tuple[http.client.HTTPConnection, int]]:
+    pool = getattr(_local, "pool", None)
+    if pool is None:
+        pool = _local.pool = {}
+    return pool
+
+
+def _checkout(netloc: str, timeout: float) -> Tuple[http.client.HTTPConnection, bool]:
+    """A connection to ``netloc``: ``(connection, previously_used)``.
+
+    The per-request timeout is applied to the live socket of a reused
+    connection (the construction-time timeout only covers the connect).
+    """
+    pool = _pool()
+    entry = pool.pop(netloc, None)
+    if entry is not None:
+        connection, used = entry
+        if connection.sock is not None:
+            connection.sock.settimeout(timeout)
+            return connection, used > 0
+        connection.close()
+    connection = http.client.HTTPConnection(netloc, timeout=timeout)
+    connection.connect()
+    # Requests also go out as small writes; without TCP_NODELAY they can
+    # stall behind the server's delayed ACK on an aged connection.
+    connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    _bump("opened")
+    return connection, False
+
+
+def _checkin(netloc: str, connection: http.client.HTTPConnection, used: int) -> None:
+    pool = _pool()
+    previous = pool.pop(netloc, None)
+    if previous is not None:
+        previous[0].close()
+    pool[netloc] = (connection, used)
+
+
+def close_pooled_connections() -> None:
+    """Close every pooled connection of the *calling* thread."""
+    pool = getattr(_local, "pool", None)
+    if pool:
+        for connection, _ in pool.values():
+            connection.close()
+        pool.clear()
+
+
+# --------------------------------------------------------------------- #
+# public entry points
 
 
 def get_json(url: str, timeout: float) -> Dict[str, object]:
@@ -60,6 +174,62 @@ def post_json(
 def _request_json(
     url: str, payload: Optional[Mapping[str, object]], timeout: float
 ) -> Dict[str, object]:
+    parts = urlsplit(url)
+    if parts.scheme != "http" or not keepalive_enabled():
+        return _request_json_oneshot(url, payload, timeout)
+    data = None
+    headers: Dict[str, str] = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    method = "GET" if data is None else "POST"
+    path = parts.path or "/"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    attempts = 0
+    while True:
+        try:
+            connection, reused = _checkout(parts.netloc, timeout)
+        except OSError as exc:
+            # A fresh connection failed to even connect: the node is down.
+            raise NodeTransportError(f"node request to {url} failed: {exc}") from exc
+        attempts += 1
+        _bump("requests")
+        if reused:
+            _bump("reused")
+        try:
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            body = response.read()
+            status = response.status
+            keep = not response.will_close
+        except (http.client.HTTPException, OSError) as exc:
+            connection.close()
+            if reused and attempts == 1:
+                # A pooled connection can always have gone stale between
+                # requests; one fresh-connection retry separates "node is
+                # down" from "idle socket died".
+                _bump("stale_retries")
+                continue
+            raise NodeTransportError(f"node request to {url} failed: {exc}") from exc
+        if keep:
+            _checkin(parts.netloc, connection, 1)
+        else:
+            connection.close()
+        if status >= 400:
+            if status < 500:
+                raise InvalidQueryError(_error_message(body, status))
+            raise NodeTransportError(
+                f"node returned HTTP {status} for {url}: "
+                f"{_error_message(body, status)}"
+            )
+        return _decode_json(body, url)
+
+
+def _request_json_oneshot(
+    url: str, payload: Optional[Mapping[str, object]], timeout: float
+) -> Dict[str, object]:
+    """The original one-connection-per-request path (and non-http schemes)."""
     data = None
     headers = {}
     if payload is not None:
@@ -81,6 +251,10 @@ def _request_json(
     except (urllib.error.URLError, http.client.HTTPException, OSError) as exc:
         # Connection refused/reset, DNS, socket deadline, protocol garbage.
         raise NodeTransportError(f"node request to {url} failed: {exc}") from exc
+    return _decode_json(body, url)
+
+
+def _decode_json(body: bytes, url: str) -> Dict[str, object]:
     try:
         decoded = json.loads(body)
     except ValueError as exc:
@@ -105,4 +279,13 @@ def _error_message(body: bytes, code: int) -> str:
     return f"HTTP {code}"
 
 
-__all__ = ["NodeTransportError", "get_json", "post_json"]
+__all__ = [
+    "KEEPALIVE_ENV",
+    "NodeTransportError",
+    "close_pooled_connections",
+    "get_json",
+    "keepalive_enabled",
+    "pool_stats",
+    "post_json",
+    "reset_pool_stats",
+]

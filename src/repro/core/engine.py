@@ -216,6 +216,10 @@ class SPQEngine:
         self._extent = extent
         self._explicit_extent = extent is not None
         self._dataset_version = 0
+        #: Whether this engine owns its cache's lifecycle: a shared cache
+        #: (query-service engine pool) is released by the service's shutdown,
+        #: not by any single pooled engine's close().
+        self._owns_index_cache = index_cache is None
         self._index_cache = (
             index_cache
             if index_cache is not None
@@ -306,6 +310,11 @@ class SPQEngine:
                 backend = None
         if backend is not None:
             backend.close()
+        if self._owns_index_cache:
+            # Unpublish the cached indexes' shared-memory planes so no
+            # /dev/shm segment outlives the engine; the indexes themselves
+            # stay cached and republish on demand if the engine is reused.
+            self._index_cache.release_all()
 
     def __enter__(self) -> "SPQEngine":
         return self

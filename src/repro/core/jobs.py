@@ -27,8 +27,9 @@ which the cluster cost model converts into simulated reduce time.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.index.columns import DataBlock, dataplane_mode
 from repro.index.records import PreAssignedData, PreAssignedFeature
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
@@ -37,9 +38,10 @@ from repro.core.scoring import feature_contribution
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
 from repro.model.result import TopKList
+from repro.spatial.geometry import candidate_halfwidth
 from repro.spatial.grid import UniformGrid
 from repro.spatial.partitioning import GridPartitioner
-from repro.text.similarity import non_spatial_score, upper_bound_for_length
+from repro.text.similarity import JaccardScorer, non_spatial_score, upper_bound_for_length
 
 #: Tag values of the pSPQ composite key: data objects sort before features.
 TAG_DATA = 0
@@ -57,6 +59,81 @@ FEATURE_DUPLICATES = "feature_duplicates"
 DATA_OBJECTS = "data_objects"
 FEATURES_KEPT = "features_kept"
 EARLY_TERMINATIONS = "early_terminations"
+
+
+class _CellData:
+    """One reduce group's data objects, accumulated in columnar form.
+
+    A group's data arrives either as one preinjected :class:`DataBlock`
+    (adopted by reference -- blocks are cached per dataset snapshot and must
+    never be mutated) or as individual :class:`DataObject` values from the
+    live shuffle stream.  ``objs``/``xs``/``ys`` stay parallel and in
+    storage/arrival order -- the exact order the per-object reduce would
+    have streamed the cell's data objects.
+    """
+
+    __slots__ = ("objs", "xs", "ys", "_block", "_shared")
+
+    def __init__(self) -> None:
+        self.objs: List[DataObject] = []
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+        self._block: Optional[DataBlock] = None
+        self._shared = False
+
+    def __len__(self) -> int:
+        return len(self.objs)
+
+    def adopt(self, block: DataBlock) -> None:
+        """Take a shared block's columns by reference (copy-on-append)."""
+        if self._block is None and not self.objs:
+            self._block = block
+            self._shared = True
+            self.objs = block.objs
+            self.xs = block.xs
+            self.ys = block.ys
+            return
+        self._thaw()
+        self.objs.extend(block.objs)
+        self.xs.extend(block.xs)
+        self.ys.extend(block.ys)
+
+    def _thaw(self) -> None:
+        if self._shared:
+            self.objs = list(self.objs)
+            self.xs = list(self.xs)
+            self.ys = list(self.ys)
+            self._shared = False
+        self._block = None
+
+    def append(self, obj: DataObject) -> None:
+        if self._shared or self._block is not None:
+            self._thaw()
+        self.objs.append(obj)
+        self.xs.append(obj.x)
+        self.ys.append(obj.y)
+
+    def candidates(self, low: float, high: float) -> List[int]:
+        """Rows whose x lies in ``[low, high]`` (see DataBlock.candidate_rows).
+
+        Delegating to the adopted block caches the x-sorted permutation per
+        cell per dataset snapshot, across queries and job classes.  For live
+        streams the columns are frozen on first use: the composite-key sort
+        delivers every data record before the first feature, so the data set
+        is complete by the time a feature needs candidates (a later append
+        would copy-on-write and drop the frozen block).
+        """
+        block = self._block
+        if block is None:
+            block = self._block = DataBlock(0, self.objs, self.xs, self.ys)
+        return block.candidate_rows(low, high)
+
+    def oids(self) -> List[str]:
+        """Parallel oid column (cached on the block once data is final)."""
+        block = self._block
+        if block is None:
+            block = self._block = DataBlock(0, self.objs, self.xs, self.ys)
+        return block.oids
 
 
 class _SPQJobBase(MapReduceJob):
@@ -87,9 +164,22 @@ class _SPQJobBase(MapReduceJob):
         self.grid = grid
         self.prune_irrelevant = prune_irrelevant
         self.partitioner = GridPartitioner(grid, query.radius)
+        # Captured at construction so one query runs one data plane end to
+        # end even if the environment changes mid-flight; pickled to worker
+        # processes along with the rest of the job spec.
+        self.dataplane = dataplane_mode()
+        self._scorer: Optional[JaccardScorer] = None
         # oid -> serialized size; a feature's size is recomputed for every
         # duplicated copy otherwise, which shows up hot in profiles.
         self._feature_sizes: Dict[str, int] = {}
+
+    @property
+    def scorer(self) -> JaccardScorer:
+        """Per-query memoizing Jaccard scorer (lazily built, not pickled)."""
+        scorer = self._scorer
+        if scorer is None:
+            scorer = self._scorer = JaccardScorer(self.query.keywords)
+        return scorer
 
     def share_feature_sizes(self, cache: Dict[str, int]) -> None:
         """Adopt a size memo that outlives this job (see DatasetIndex)."""
@@ -106,6 +196,7 @@ class _SPQJobBase(MapReduceJob):
         # across the process boundary.
         state = dict(self.__dict__)
         state["_feature_sizes"] = {}
+        state["_scorer"] = None
         return state
 
     def task_state(self) -> Any:
@@ -236,7 +327,81 @@ class PSPQJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
-        """Per-cell nested-loop reduce of pSPQ (paper Algorithm 2)."""
+        """Per-cell nested-loop reduce of pSPQ (paper Algorithm 2).
+
+        The columnar path accumulates the cell's data as parallel columns
+        (adopting a preinjected :class:`DataBlock` when the runner provides
+        one) and, per surviving feature, applies the exact squared-distance
+        predicate only to the x-candidate window -- a strict superset of the
+        matches (:func:`candidate_halfwidth`), offered in storage order, so
+        results, scores and counters are bit-for-bit those of the object
+        path (``REPRO_DATAPLANE=object``), which is kept verbatim below as
+        the oracle.
+        """
+        if self.dataplane != "columnar":
+            return self._reduce_objects(group, values, counters)
+        query = self.query
+        data = _CellData()
+        top = TopKList(query.k)
+        examined = 0
+        computations = 0
+        range_mode = self.score_mode == "range"
+        radius = query.radius
+        squared_radius = radius * radius
+        scorer = self.scorer
+        offer = top.offer
+        for value in values:
+            if value.__class__ is DataBlock:
+                data.adopt(value)
+                continue
+            if isinstance(value, DataObject):
+                data.append(value)
+                continue
+            feature: FeatureObject = value
+            examined += 1
+            score = scorer.score(feature.keywords)
+            if score <= top.threshold:
+                # The feature cannot improve the current top-k; skip the
+                # nested loop (Algorithm 2, line 9) but keep reading input.
+                continue
+            # The cost model charges one computation per (data, feature)
+            # pair of the cell whether or not the window filter tested it.
+            computations += len(data)
+            if not data.objs:
+                continue
+            if range_mode:
+                fx = feature.x
+                fy = feature.y
+                window = candidate_halfwidth(radius, abs(fx) + radius)
+                xs = data.xs
+                ys = data.ys
+                objs = data.objs
+                matched = [
+                    row
+                    for row in data.candidates(fx - window, fx + window)
+                    if (dx := xs[row] - fx) * dx + (dy := ys[row] - fy) * dy
+                    <= squared_radius
+                ]
+                matched.sort()
+                for row in matched:
+                    offer(objs[row], score)
+            else:
+                for obj in data.objs:
+                    contribution = feature_contribution(
+                        obj, feature, query, self.score_mode
+                    )
+                    if contribution > 0.0:
+                        offer(obj, contribution)
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
+        return [(group, entry.obj.oid, entry.score) for entry in top.top()]
+
+    def _reduce_objects(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        """The original per-object reduce: the columnar path's oracle."""
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
         examined = 0
@@ -251,8 +416,6 @@ class PSPQJob(_SPQJobBase):
             examined += 1
             score = non_spatial_score(feature.keywords, self.query.keywords)
             if score <= top.threshold:
-                # The feature cannot improve the current top-k; skip the
-                # nested loop (Algorithm 2, line 9) but keep reading input.
                 continue
             computations += len(data_objects)
             if range_mode:
@@ -292,7 +455,73 @@ class ESPQLenJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
-        """Length-bound early-terminating reduce of eSPQlen (Algorithm 3)."""
+        """Length-bound early-terminating reduce of eSPQlen (Algorithm 3).
+
+        Columnar path: same candidate-window range scan as pSPQ, with the
+        Lemma 2 bound/termination logic untouched (it only reads the feature
+        stream and the top-k threshold).  ``REPRO_DATAPLANE=object`` selects
+        the original per-object loop below as the oracle.
+        """
+        if self.dataplane != "columnar":
+            return self._reduce_objects(group, values, counters)
+        query = self.query
+        data = _CellData()
+        top = TopKList(query.k)
+        query_len = query.keyword_count
+        k = query.k
+        radius = query.radius
+        squared_radius = radius * radius
+        scorer = self.scorer
+        offer = top.offer
+        examined = 0
+        computations = 0
+        for value in values:
+            if value.__class__ is DataBlock:
+                data.adopt(value)
+                continue
+            if isinstance(value, DataObject):
+                data.append(value)
+                continue
+            feature: FeatureObject = value
+            examined += 1
+            bound = upper_bound_for_length(feature.keyword_count, query_len)
+            tau = top.threshold
+            if len(top) >= k and tau >= bound:
+                # Lemma 2: no remaining feature (all at least this long) can
+                # improve the k-th best score.
+                counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                break
+            score = scorer.score(feature.keywords)
+            if score <= tau:
+                continue
+            computations += len(data)
+            if not data.objs:
+                continue
+            fx = feature.x
+            fy = feature.y
+            window = candidate_halfwidth(radius, abs(fx) + radius)
+            xs = data.xs
+            ys = data.ys
+            objs = data.objs
+            matched = [
+                row
+                for row in data.candidates(fx - window, fx + window)
+                if (dx := xs[row] - fx) * dx + (dy := ys[row] - fy) * dy
+                <= squared_radius
+            ]
+            matched.sort()
+            for row in matched:
+                offer(objs[row], score)
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
+        return [(group, entry.obj.oid, entry.score) for entry in top.top()]
+
+    def _reduce_objects(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        """The original per-object reduce: the columnar path's oracle."""
         data_objects: List[DataObject] = []
         top = TopKList(self.query.k)
         query_len = self.query.keyword_count
@@ -308,8 +537,6 @@ class ESPQLenJob(_SPQJobBase):
             bound = upper_bound_for_length(feature.keyword_count, query_len)
             tau = top.threshold
             if len(top) >= self.query.k and tau >= bound:
-                # Lemma 2: no remaining feature (all at least this long) can
-                # improve the k-th best score.
                 counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
                 break
             score = non_spatial_score(feature.keywords, self.query.keywords)
@@ -345,11 +572,13 @@ class ESPQScoJob(_SPQJobBase):
         return (cell_id, self.DATA_SORT_VALUE)
 
     def _feature_key(self, cell_id: int, feature: FeatureObject) -> Tuple:
-        return (cell_id, non_spatial_score(feature.keywords, self.query.keywords))
+        # Memoized: each duplicated copy of a feature reuses the identical
+        # float; the map-side work counter below still charges every copy.
+        return (cell_id, self.scorer.score(feature.keywords))
 
     def _feature_value(self, feature: FeatureObject) -> Any:
         # Carry the map-side score so the reducer does not recompute it.
-        return (feature, non_spatial_score(feature.keywords, self.query.keywords))
+        return (feature, self.scorer.score(feature.keywords))
 
     def _count_map_feature_work(self, copies: int, counters: Counters) -> None:
         # One score for the value plus one per emitted copy's composite key.
@@ -366,7 +595,71 @@ class ESPQScoJob(_SPQJobBase):
     def reduce(
         self, group: int, values: Iterator[Any], counters: Counters
     ) -> Iterable[Tuple[int, str, float]]:
-        """Report-as-you-go early-terminating reduce of eSPQsco (Algorithm 4)."""
+        """Report-as-you-go early-terminating reduce of eSPQsco (Algorithm 4).
+
+        Columnar path: a storage-order scan over the coordinate columns with
+        the squared-distance predicate inlined.  No candidate window here --
+        this reducer's ``score_computations`` counter charges each pair it
+        actually examines (unlike the cell-sized model counter of the other
+        two), so skipping pairs would change the counters the cost model
+        calibrates against.  ``REPRO_DATAPLANE=object`` selects the original
+        per-object loop below as the oracle.
+        """
+        if self.dataplane != "columnar":
+            return self._reduce_objects(group, values, counters)
+        data = _CellData()
+        reported: List[Tuple[int, str, float]] = []
+        reported_ids: set = set()
+        k = self.query.k
+        radius = self.query.radius
+        squared_radius = radius * radius
+        examined = 0
+        computations = 0
+        done = False
+        for value in values:
+            if value.__class__ is DataBlock:
+                data.adopt(value)
+                continue
+            if isinstance(value, DataObject):
+                data.append(value)
+                continue
+            feature, score = value
+            examined += 1
+            if score <= 0.0:
+                # Scores are sorted descending: nothing below can contribute.
+                counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                break
+            fx = feature.x
+            fy = feature.y
+            xs = data.xs
+            ys = data.ys
+            for row, oid in enumerate(data.oids()):
+                if oid in reported_ids:
+                    continue
+                computations += 1
+                dx = xs[row] - fx
+                dy = ys[row] - fy
+                if dx * dx + dy * dy <= squared_radius:
+                    # Lemma 3: the feature currently examined has the highest
+                    # score among all unseen features, so tau(obj) == score.
+                    reported.append((group, oid, score))
+                    reported_ids.add(oid)
+                    if len(reported) >= k:
+                        counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
+                        done = True
+                        break
+            if done:
+                break
+        if examined:
+            counters.increment(WORK_GROUP, FEATURES_EXAMINED, examined)
+        if computations:
+            counters.increment(WORK_GROUP, SCORE_COMPUTATIONS, computations)
+        return reported
+
+    def _reduce_objects(
+        self, group: int, values: Iterator[Any], counters: Counters
+    ) -> Iterable[Tuple[int, str, float]]:
+        """The original per-object reduce: the columnar path's oracle."""
         data_objects: List[DataObject] = []
         reported: List[Tuple[int, str, float]] = []
         reported_ids: set = set()
@@ -382,7 +675,6 @@ class ESPQScoJob(_SPQJobBase):
             feature, score = value
             examined += 1
             if score <= 0.0:
-                # Scores are sorted descending: nothing below can contribute.
                 counters.increment(SPQ_GROUP, EARLY_TERMINATIONS)
                 break
             for obj in data_objects:
@@ -390,8 +682,6 @@ class ESPQScoJob(_SPQJobBase):
                     continue
                 computations += 1
                 if obj.within_distance(feature, radius):
-                    # Lemma 3: the feature currently examined has the highest
-                    # score among all unseen features, so tau(obj) == score.
                     reported.append((group, obj.oid, score))
                     reported_ids.add(obj.oid)
                     if len(reported) >= k:

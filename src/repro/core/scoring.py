@@ -20,12 +20,14 @@ only, while ``pSPQ`` remains applicable to all three (its threshold check uses
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, List, Sequence
 
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.query import SpatialPreferenceQuery
 from repro.model.result import ScoredObject
-from repro.text.similarity import non_spatial_score
+from repro.spatial.geometry import candidate_halfwidth
+from repro.text.similarity import JaccardScorer, non_spatial_score
 
 #: Supported score variants.
 SCORE_MODES = ("range", "influence", "nearest")
@@ -100,9 +102,62 @@ def rank_objects(
 
     This is the O(|O| * |F|) nested loop; it serves as the correctness oracle
     for the distributed algorithms and as the per-cell computation of pSPQ.
+
+    The "range" and "influence" variants take a columnar fast path: textual
+    scores are computed once per distinct feature keyword set (not once per
+    pair), zero-relevance features are dropped, and the survivors are
+    x-sorted so each data object only runs the exact squared-distance test
+    against features inside a provably-superset x-window
+    (:func:`~repro.spatial.geometry.candidate_halfwidth`).  Both variants
+    take a *maximum* over per-feature contributions, which is independent of
+    visit order, so results are bit-for-bit those of the nested loop.  The
+    "nearest" variant's arg-min is order-sensitive and keeps the plain loop.
     """
-    scored = [
-        ScoredObject(obj, compute_score(obj, features, query, mode)) for obj in data_objects
-    ]
+    if mode not in ("range", "influence") or not data_objects:
+        scored = [
+            ScoredObject(obj, compute_score(obj, features, query, mode))
+            for obj in data_objects
+        ]
+        scored.sort()
+        return scored[: query.k]
+
+    scorer = JaccardScorer(query.keywords)
+    relevant: List[tuple] = []
+    for feature in features:
+        textual = scorer.score(feature.keywords)
+        if textual != 0.0:
+            relevant.append((feature.x, feature.y, textual))
+    relevant.sort()
+    feature_xs = [entry[0] for entry in relevant]
+    radius = query.radius
+    squared_radius = radius * radius
+    influence = mode == "influence"
+
+    scored = []
+    for obj in data_objects:
+        best = 0.0
+        if relevant:
+            ox = obj.x
+            oy = obj.y
+            window = candidate_halfwidth(radius, abs(ox) + radius)
+            low = bisect_left(feature_xs, ox - window)
+            high = bisect_right(feature_xs, ox + window)
+            for i in range(low, high):
+                fx, fy, textual = relevant[i]
+                dx = ox - fx
+                dy = oy - fy
+                squared = dx * dx + dy * dy
+                if squared <= squared_radius:
+                    if influence:
+                        if radius <= 0:
+                            raise ValueError(
+                                "influence score requires a positive radius"
+                            )
+                        contribution = textual * 2.0 ** (-(squared**0.5) / radius)
+                    else:
+                        contribution = textual
+                    if contribution > best:
+                        best = contribution
+        scored.append(ScoredObject(obj, best))
     scored.sort()
     return scored[: query.k]

@@ -32,12 +32,25 @@ class ReduceTask:
             repeated queries do not re-pickle the index).  Process backends
             ship the blob instead of re-pickling the entry list per query;
             in-process backends ignore it.
+        preloaded_block: Zero-argument callable returning the partition's
+            columnar ``(group, DataBlock)`` replacement for the preloaded
+            entries (or None when the partition holds no data).  Set only
+            for columnar-mode jobs; when present, in-process backends feed
+            the block to :func:`~repro.execution.tasks.run_reduce_task`
+            instead of materializing the preloaded entries.
+        preloaded_ref: Zero-argument callable returning the partition's
+            shared-memory descriptor ``(segment name, partition index)`` (or
+            None when no segment is published).  Process backends ship the
+            descriptor and workers attach the segment; the pickle blob
+            remains the fallback.
     """
 
     task_index: int
     entries: List[ShuffleEntry]
     preloaded_entries: Optional[Sequence[ShuffleEntry]] = None
     preloaded_blob: Optional[Callable[[], bytes]] = None
+    preloaded_block: Optional[Callable[[], Optional[Tuple[Any, Any]]]] = None
+    preloaded_ref: Optional[Callable[[], Optional[Tuple[str, int]]]] = None
 
     def materialize(self) -> List[ShuffleEntry]:
         """The full bucket: preloaded entries (if any) plus live entries.
@@ -51,6 +64,21 @@ class ReduceTask:
             bucket.extend(self.entries)
             return bucket
         return self.entries
+
+    def bucket_and_block(self) -> Tuple[List[ShuffleEntry], Optional[Tuple[Any, Any]]]:
+        """The live bucket plus columnar block, or the materialized bucket.
+
+        In-process backends call this: when a block provider is set the
+        preloaded entries are *replaced* by the block (never both), so the
+        live entry list is returned as-is (owned by this run, safe to sort
+        in place).  A provider that yields nothing for a partition that
+        does have preloaded entries falls back to :meth:`materialize`.
+        """
+        if self.preloaded_block is not None:
+            block = self.preloaded_block()
+            if block is not None or not self.preloaded_entries:
+                return self.entries, block
+        return self.materialize(), None
 
 
 class ExecutionBackend(ABC):

@@ -8,9 +8,13 @@ crossing the process boundary is an explicit, picklable payload:
   at most once per worker per job;
 * **map payloads** carry one input split of records;
 * **reduce payloads** carry the partition's live shuffle entries plus -- for
-  pre-partitioned batch runs -- the partition's *compact serialized form*
-  (a pickle blob cached at the :class:`~repro.mapreduce.runtime.PreloadedShuffle`),
-  so repeated queries never re-pickle the index's data-object entries;
+  pre-partitioned batch runs -- either the partition's *shared-memory
+  descriptor* ``(segment name, partition index)`` (preferred: workers attach
+  the index's published columnar plane once and build/cache the partition's
+  reduce block from it, so nothing dataset-sized crosses the pipe at all) or
+  its *compact serialized form* (a pickle blob cached at the
+  :class:`~repro.mapreduce.runtime.PreloadedShuffle`), so repeated queries
+  never re-pickle the index's data-object entries;
 * task payloads are submitted through ``Pool.map`` with a computed
   ``chunksize``, so the many small per-cell reduce tasks of an SPQ job are
   serialized in chunks instead of one IPC round-trip each.
@@ -29,6 +33,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import pickle
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobConfigurationError
@@ -64,17 +69,45 @@ def _worker_run_map(
     return run_map_task(job, task_index, records, num_reducers)
 
 
+#: Worker-side cache of attached shared-memory reduce planes, keyed by
+#: segment name, LRU-capped: a long-lived pool may serve several dataset
+#: snapshots (hot-swaps), but only a handful are ever live at once.
+_WORKER_PLANES: "OrderedDict[str, Any]" = OrderedDict()
+_WORKER_PLANE_CAP = 4
+
+
+def _worker_plane(name: str) -> Any:
+    plane = _WORKER_PLANES.get(name)
+    if plane is None:
+        from repro.execution.shm import attach_reduce_plane
+
+        while len(_WORKER_PLANES) >= _WORKER_PLANE_CAP:
+            _, evicted = _WORKER_PLANES.popitem(last=False)
+            evicted.close()
+        plane = attach_reduce_plane(name)
+        _WORKER_PLANES[name] = plane
+    else:
+        _WORKER_PLANES.move_to_end(name)
+    return plane
+
+
 def _worker_run_reduce(
-    payload: Tuple[int, bytes, int, Optional[bytes], List[ShuffleEntry]],
+    payload: Tuple[
+        int, bytes, int, Optional[bytes], List[ShuffleEntry], Optional[Tuple[str, int]]
+    ],
 ) -> Tuple[List[Any], ReduceTaskReport]:
-    token, job_blob, task_index, preloaded_blob, entries = payload
+    token, job_blob, task_index, preloaded_blob, entries, preloaded_ref = payload
     job = _worker_job(token, job_blob)
+    block = None
+    if preloaded_ref is not None:
+        segment_name, partition = preloaded_ref
+        block = _worker_plane(segment_name).block(partition)
     if preloaded_blob is not None:
         bucket: List[ShuffleEntry] = pickle.loads(preloaded_blob)
         bucket.extend(entries)
     else:
         bucket = entries
-    return run_reduce_task(job, task_index, bucket)
+    return run_reduce_task(job, task_index, bucket, block)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -143,15 +176,24 @@ class ProcessBackend(ExecutionBackend):
             return []
         if self.workers == 1:
             # A one-process pool buys no parallelism; skip the IPC entirely.
-            return [
-                run_reduce_task(job, task.task_index, task.materialize())
-                for task in tasks
-            ]
+            results = []
+            for task in tasks:
+                bucket, block = task.bucket_and_block()
+                results.append(run_reduce_task(job, task.task_index, bucket, block))
+            return results
         token, job_blob = self._job_payload(job)
         payloads = []
         for task in tasks:
-            if task.preloaded_blob is not None:
-                blob: Optional[bytes] = task.preloaded_blob()
+            ref: Optional[Tuple[str, int]] = (
+                task.preloaded_ref() if task.preloaded_ref is not None else None
+            )
+            if ref is not None:
+                # Shared-memory descriptor: the worker attaches the published
+                # plane and builds the block there; nothing preloaded ships.
+                blob: Optional[bytes] = None
+                entries = task.entries
+            elif task.preloaded_blob is not None:
+                blob = task.preloaded_blob()
                 entries = task.entries
             elif task.preloaded_entries:
                 # No compact form available: fall back to shipping the
@@ -161,7 +203,7 @@ class ProcessBackend(ExecutionBackend):
             else:
                 blob = None
                 entries = task.entries
-            payloads.append((token, job_blob, task.task_index, blob, entries))
+            payloads.append((token, job_blob, task.task_index, blob, entries, ref))
         # Chunked shuffle serialization: batch the many small per-partition
         # payloads so each worker round-trip carries a meaningful amount of
         # work instead of one tiny task.

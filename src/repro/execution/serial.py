@@ -39,7 +39,8 @@ class SerialBackend(ExecutionBackend):
         self, job: Any, tasks: Sequence[ReduceTask]
     ) -> List[Tuple[List[Any], ReduceTaskReport]]:
         """Run every reduce task inline, in task-index order."""
-        return [
-            run_reduce_task(job, task.task_index, task.materialize())
-            for task in tasks
-        ]
+        results = []
+        for task in tasks:
+            bucket, block = task.bucket_and_block()
+            results.append(run_reduce_task(job, task.task_index, bucket, block))
+        return results

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobExecutionError
+from repro.index.columns import DataBlock
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
@@ -87,11 +88,18 @@ class MapTaskResult:
 
 
 class _ConsumptionTrackingIterator:
-    """Wraps a value iterator and counts how many items the reducer pulled."""
+    """Wraps a value iterator and counts how many items the reducer pulled.
+
+    A :class:`~repro.index.columns.DataBlock` stands in for that many
+    individual data records, so pulling one weighs ``len(block)`` -- the
+    consumption accounting stays identical to the per-entry stream it
+    replaces.
+    """
 
     def __init__(self, values: Sequence[Any]) -> None:
         self._values = values
         self._position = 0
+        self._extra = 0
 
     def __iter__(self) -> "_ConsumptionTrackingIterator":
         return self
@@ -101,11 +109,13 @@ class _ConsumptionTrackingIterator:
             raise StopIteration
         value = self._values[self._position]
         self._position += 1
+        if value.__class__ is DataBlock:
+            self._extra += len(value) - 1
         return value
 
     @property
     def consumed(self) -> int:
-        return self._position
+        return self._position + self._extra
 
 
 def run_map_task(
@@ -163,25 +173,64 @@ def run_reduce_task(
     job: MapReduceJob,
     task_index: int,
     bucket: List[ShuffleEntry],
+    preloaded_block: Optional[Tuple[Any, DataBlock]] = None,
 ) -> Tuple[List[Any], ReduceTaskReport]:
-    """Sort, group and reduce one partition bucket."""
+    """Sort, group and reduce one partition bucket.
+
+    ``preloaded_block`` is the columnar replacement for the partition's
+    preloaded data entries: a ``(group, DataBlock)`` pair injected ahead of
+    the live values of its group (data always sorts before features in SPQ
+    jobs, so "first" is exactly where the per-entry stream would have put
+    it).  A block whose group has no live entries is reduced as its own
+    data-only group, in group order; accounting (``input_records``,
+    ``num_groups``, consumption) counts the block as ``len(block)`` records,
+    matching the stream it replaces.  Requires orderable group keys, which
+    every preloaded-shuffle job has (cell ids).
+    """
     sort_bucket(bucket)
-    report = ReduceTaskReport(task_index=task_index, input_records=len(bucket))
-    task_counters = report.counters
+    block_group: Any = None
+    block: Optional[DataBlock] = None
+    block_records = 0
+    if preloaded_block is not None:
+        block_group, block = preloaded_block
+        block_records = len(block)
+    report = ReduceTaskReport(
+        task_index=task_index, input_records=len(bucket) + block_records
+    )
     outputs: List[Any] = []
 
     for group, entries in itertools.groupby(bucket, key=lambda entry: job.group_key(entry[2])):
         values = [value for _, _, _, value in entries]
-        report.num_groups += 1
-        iterator = _ConsumptionTrackingIterator(values)
-        try:
-            produced = job.reduce(group, iterator, task_counters)
-            produced = list(produced) if produced is not None else []
-        except Exception as exc:  # pragma: no cover - defensive re-raise
-            raise JobExecutionError(
-                f"reduce failed for group {group!r} in task {task_index}: {exc}"
-            ) from exc
-        report.consumed_records += iterator.consumed
-        report.output_records += len(produced)
-        outputs.extend(produced)
+        if block is not None and block_group <= group:
+            if block_group < group:
+                _reduce_group(job, task_index, block_group, [block], report, outputs)
+            else:
+                values.insert(0, block)
+            block = None
+        _reduce_group(job, task_index, group, values, report, outputs)
+    if block is not None:
+        _reduce_group(job, task_index, block_group, [block], report, outputs)
     return outputs, report
+
+
+def _reduce_group(
+    job: MapReduceJob,
+    task_index: int,
+    group: Any,
+    values: Sequence[Any],
+    report: ReduceTaskReport,
+    outputs: List[Any],
+) -> None:
+    """Feed one group to ``job.reduce`` and fold the results into the report."""
+    report.num_groups += 1
+    iterator = _ConsumptionTrackingIterator(values)
+    try:
+        produced = job.reduce(group, iterator, report.counters)
+        produced = list(produced) if produced is not None else []
+    except Exception as exc:  # pragma: no cover - defensive re-raise
+        raise JobExecutionError(
+            f"reduce failed for group {group!r} in task {task_index}: {exc}"
+        ) from exc
+    report.consumed_records += iterator.consumed
+    report.output_records += len(produced)
+    outputs.extend(produced)

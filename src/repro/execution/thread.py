@@ -74,7 +74,8 @@ class ThreadBackend(ExecutionBackend):
 
     @staticmethod
     def _run_one(job: Any, task: ReduceTask) -> Tuple[List[Any], ReduceTaskReport]:
-        return run_reduce_task(job, task.task_index, task.materialize())
+        bucket, block = task.bucket_and_block()
+        return run_reduce_task(job, task.task_index, bucket, block)
 
     def close(self) -> None:
         """Shut the executor down (idempotent; detaches before tearing down)."""

@@ -123,23 +123,54 @@ class IndexCache:
         with self._lock:
             self.stats.misses += 1
             self._entries[key] = index
+            evicted: list[DatasetIndex] = []
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[1])
                 self.stats.evictions += 1
             self._building.pop(key, None)
         latch.set()
+        # Outside the lock: releasing unpublishes an index's shared-memory
+        # plane (see DatasetIndex.release), which no longer needs the map.
+        for old in evicted:
+            _release(old)
         return index, False
 
     def invalidate(self, key: Optional[Hashable] = None) -> int:
         """Drop one entry (or all entries when ``key`` is None).
 
+        Dropped indexes are released -- their shared-memory planes are
+        unpublished so no ``/dev/shm`` segment outlives its cache entry.
         Returns the number of entries removed.
         """
         with self._lock:
             if key is None:
-                removed = len(self._entries)
+                dropped = list(self._entries.values())
                 self._entries.clear()
             else:
-                removed = 1 if self._entries.pop(key, None) is not None else 0
+                entry = self._entries.pop(key, None)
+                dropped = [entry] if entry is not None else []
+            removed = len(dropped)
             self.stats.invalidations += removed
-            return removed
+        for entry in dropped:
+            _release(entry)
+        return removed
+
+    def release_all(self) -> None:
+        """Release shared resources of every cached index, keeping the entries.
+
+        Engine/service shutdown calls this: the indexes stay cached (an
+        engine remains usable after ``close()``) but their shared-memory
+        planes are unpublished; an index that serves another query simply
+        republishes its plane on demand.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            _release(entry)
+
+
+def _release(index: DatasetIndex) -> None:
+    """Release a dropped entry's shared resources (tolerates test doubles)."""
+    release = getattr(index, "release", None)
+    if release is not None:
+        release()

@@ -1,0 +1,544 @@
+"""Columnar dataset representation: packed `array` columns + framed segments.
+
+The object model (:mod:`repro.model.objects`) is the API of the system, but
+walking per-object Python instances is also what the hot loops were paying
+for: every ``obj.within_distance(feature, r)`` is a method call plus four
+attribute lookups, and every process-backed reduce task used to ship its
+partition as a pickle blob.  This module packs the same information into
+stdlib ``array`` columns:
+
+* :class:`DataColumns`    -- data objects as parallel ``xs``/``ys`` double
+  columns plus a packed UTF-8 oid blob with offsets;
+* :class:`FeatureColumns` -- feature objects, additionally with a sorted
+  vocabulary and per-feature token-id postings (CSR layout);
+* :class:`CellColumns`    -- the per-cell assignment plane of one grid: the
+  home cell of every data row plus a partition->rows CSR permutation;
+* :class:`ColumnStore`    -- a framed, 8-byte-aligned section container that
+  serializes any combination of the above to one contiguous buffer and
+  attaches back **zero-copy**: an attached store indexes ``memoryview``
+  casts of the original buffer (e.g. a ``multiprocessing.shared_memory``
+  segment) instead of copying arrays out.
+
+Round-trips are exact: ``array('d')`` stores IEEE-754 doubles bit-for-bit,
+oids/keywords round-trip through UTF-8, and keyword sets are rebuilt as
+equal ``frozenset`` instances -- so results computed from attached columns
+are bit-for-bit identical to results computed from the original objects.
+
+:class:`DataBlock` is the reduce-side view of one cell's data objects: the
+coordinate columns sliced for that cell, plus a lazily built x-sorted
+permutation that lets range predicates test only the candidate window
+``[fx - w, fx + w]`` (see :func:`repro.spatial.geometry.candidate_halfwidth`)
+instead of every pair, while still applying the exact squared-distance
+predicate to every candidate.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.objects import DataObject, FeatureObject
+
+__all__ = [
+    "CellColumns",
+    "ColumnStore",
+    "DataBlock",
+    "DataColumns",
+    "FeatureColumns",
+    "dataplane_mode",
+]
+
+#: Environment toggle for the data plane: ``columnar`` (default) enables the
+#: packed-column reduce paths; ``object`` forces the original per-object
+#: loops, which double as the oracle the differential fuzz suite and
+#: ``bench_dataplane.py`` compare against.
+DATAPLANE_ENV = "REPRO_DATAPLANE"
+DATAPLANE_MODES = ("columnar", "object")
+
+
+def dataplane_mode() -> str:
+    """The active data-plane mode (``columnar`` unless overridden)."""
+    mode = os.environ.get(DATAPLANE_ENV, "columnar").strip().lower()
+    return mode if mode in DATAPLANE_MODES else "columnar"
+
+
+# ---------------------------------------------------------------------- #
+# framed section container
+
+_MAGIC = b"RPC1"
+_HEADER = struct.Struct("<4sI")
+_ENTRY = struct.Struct("<4sIQQ")  # tag, pad, offset, length
+_ALIGN = 8
+
+
+def _pad(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_sections(sections: Sequence[Tuple[bytes, "bytes | memoryview | array"]]) -> bytes:
+    """Serialize ``(tag, payload)`` sections into one aligned buffer."""
+    header_size = _HEADER.size + _ENTRY.size * len(sections)
+    parts: List[bytes] = []
+    entries: List[bytes] = []
+    offset = _pad(header_size)
+    pieces: List[Tuple[int, bytes]] = []
+    for tag, payload in sections:
+        if len(tag) != 4:
+            raise ValueError(f"section tag must be 4 bytes, got {tag!r}")
+        raw = payload.tobytes() if isinstance(payload, (array, memoryview)) else bytes(payload)
+        entries.append(_ENTRY.pack(tag, 0, offset, len(raw)))
+        pieces.append((offset, raw))
+        offset = _pad(offset + len(raw))
+    parts.append(_HEADER.pack(_MAGIC, len(sections)))
+    parts.extend(entries)
+    blob = bytearray(offset)
+    head = b"".join(parts)
+    blob[: len(head)] = head
+    for start, raw in pieces:
+        blob[start : start + len(raw)] = raw
+    return bytes(blob)
+
+
+def unpack_sections(buffer: "bytes | memoryview") -> Dict[bytes, memoryview]:
+    """Zero-copy view of every section of a :func:`pack_sections` buffer."""
+    view = memoryview(buffer)
+    if len(view) < _HEADER.size:
+        raise ValueError("buffer too small for a column-store header")
+    magic, count = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad column-store magic {magic!r}")
+    sections: Dict[bytes, memoryview] = {}
+    position = _HEADER.size
+    for _ in range(count):
+        tag, _, offset, length = _ENTRY.unpack_from(view, position)
+        position += _ENTRY.size
+        if offset + length > len(view):
+            raise ValueError(f"section {tag!r} overruns the buffer")
+        sections[tag] = view[offset : offset + length]
+    return sections
+
+
+def _doubles(view: memoryview) -> memoryview:
+    return view.cast("d")
+
+
+def _uints(view: memoryview) -> memoryview:
+    return view.cast("I")
+
+
+def _offsets(view: memoryview) -> memoryview:
+    return view.cast("Q")
+
+
+def _pack_strings(strings: Sequence[str]) -> Tuple[bytes, array]:
+    """Concatenated UTF-8 blob + ``n + 1`` offsets for a string column."""
+    offsets = array("Q", [0])
+    blob = bytearray()
+    for text in strings:
+        blob.extend(text.encode("utf-8"))
+        offsets.append(len(blob))
+    return bytes(blob), offsets
+
+
+def _unpack_strings(blob: "bytes | memoryview", offsets: Sequence[int]) -> List[str]:
+    raw = bytes(blob)
+    return [
+        raw[offsets[i] : offsets[i + 1]].decode("utf-8")
+        for i in range(len(offsets) - 1)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# column groups
+
+
+class DataColumns:
+    """Data objects as parallel columns (coordinates + packed oids).
+
+    ``xs``/``ys`` are indexable double sequences: ``array('d')`` when built
+    from objects, ``memoryview`` casts when attached zero-copy to a
+    serialized buffer.  Either way ``xs[i]`` is the exact double of
+    ``objects[i].x``.
+    """
+
+    __slots__ = ("xs", "ys", "_oid_blob", "_oid_offsets", "_oids")
+
+    def __init__(self, xs, ys, oid_blob, oid_offsets) -> None:
+        self.xs = xs
+        self.ys = ys
+        self._oid_blob = oid_blob
+        self._oid_offsets = oid_offsets
+        self._oids: Optional[List[str]] = None
+
+    @classmethod
+    def from_objects(cls, objects: Sequence[DataObject]) -> "DataColumns":
+        """Pack a data-object sequence into columns, preserving order."""
+        xs = array("d", (obj.x for obj in objects))
+        ys = array("d", (obj.y for obj in objects))
+        blob, offsets = _pack_strings([obj.oid for obj in objects])
+        return cls(xs, ys, blob, offsets)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @property
+    def oids(self) -> List[str]:
+        """Decoded oid column (materialized once, then cached)."""
+        if self._oids is None:
+            self._oids = _unpack_strings(self._oid_blob, self._oid_offsets)
+        return self._oids
+
+    def object_at(self, index: int) -> DataObject:
+        """Materialize one row as a :class:`DataObject` (equal to the source)."""
+        return DataObject(oid=self.oids[index], x=self.xs[index], y=self.ys[index])
+
+    def to_objects(self) -> List[DataObject]:
+        """Materialize every row, in storage order."""
+        return [
+            DataObject(oid=oid, x=x, y=y)
+            for oid, x, y in zip(self.oids, self.xs, self.ys)
+        ]
+
+    def sections(self) -> List[Tuple[bytes, object]]:
+        """The (tag, column) pairs this group serializes as."""
+        return [
+            (b"DAXS", self.xs),
+            (b"DAYS", self.ys),
+            (b"DAOB", self._oid_blob),
+            (b"DAOF", self._oid_offsets),
+        ]
+
+    @classmethod
+    def from_sections(cls, sections: Dict[bytes, memoryview]) -> "DataColumns":
+        """Rebuild the group zero-copy from unpacked section views."""
+        return cls(
+            _doubles(sections[b"DAXS"]),
+            _doubles(sections[b"DAYS"]),
+            sections[b"DAOB"],
+            _offsets(sections[b"DAOF"]),
+        )
+
+
+class FeatureColumns:
+    """Feature objects as columns: coordinates, oids, vocabulary + postings.
+
+    Keywords are dictionary-encoded: the sorted vocabulary maps token id ->
+    word, and each feature's keyword set is a slice of the ``tokens`` column
+    (CSR via ``token_offsets``).  ``keywords(i)`` rebuilds a ``frozenset``
+    equal to the source object's -- per-row sets are cached after first use
+    so repeated materialization is an O(1) lookup.
+    """
+
+    __slots__ = (
+        "xs",
+        "ys",
+        "_oid_blob",
+        "_oid_offsets",
+        "_vocab_blob",
+        "_vocab_offsets",
+        "tokens",
+        "token_offsets",
+        "_oids",
+        "_words",
+        "_keyword_sets",
+    )
+
+    def __init__(
+        self, xs, ys, oid_blob, oid_offsets, vocab_blob, vocab_offsets, tokens, token_offsets
+    ) -> None:
+        self.xs = xs
+        self.ys = ys
+        self._oid_blob = oid_blob
+        self._oid_offsets = oid_offsets
+        self._vocab_blob = vocab_blob
+        self._vocab_offsets = vocab_offsets
+        self.tokens = tokens
+        self.token_offsets = token_offsets
+        self._oids: Optional[List[str]] = None
+        self._words: Optional[List[str]] = None
+        self._keyword_sets: Optional[List[Optional[frozenset]]] = None
+
+    @classmethod
+    def from_objects(cls, objects: Sequence[FeatureObject]) -> "FeatureColumns":
+        """Pack a feature sequence into columns + a tokenized vocabulary."""
+        xs = array("d", (obj.x for obj in objects))
+        ys = array("d", (obj.y for obj in objects))
+        oid_blob, oid_offsets = _pack_strings([obj.oid for obj in objects])
+        vocabulary = sorted({word for obj in objects for word in obj.keywords})
+        token_ids = {word: index for index, word in enumerate(vocabulary)}
+        vocab_blob, vocab_offsets = _pack_strings(vocabulary)
+        tokens = array("I")
+        token_offsets = array("Q", [0])
+        for obj in objects:
+            # Sorted token ids give a deterministic serialization; the
+            # rebuilt frozenset is order-independent anyway.
+            tokens.extend(sorted(token_ids[word] for word in obj.keywords))
+            token_offsets.append(len(tokens))
+        return cls(
+            xs, ys, oid_blob, oid_offsets, vocab_blob, vocab_offsets, tokens, token_offsets
+        )
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @property
+    def oids(self) -> List[str]:
+        """Decoded oid column (materialized once, then cached)."""
+        if self._oids is None:
+            self._oids = _unpack_strings(self._oid_blob, self._oid_offsets)
+        return self._oids
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """Token id -> word (materialized once, then cached)."""
+        if self._words is None:
+            self._words = _unpack_strings(self._vocab_blob, self._vocab_offsets)
+        return self._words
+
+    def keyword_count(self, index: int) -> int:
+        """``|f.W|`` of the feature at ``index`` without materializing it."""
+        return self.token_offsets[index + 1] - self.token_offsets[index]
+
+    def keywords(self, index: int) -> frozenset:
+        """The keyword set of one row (cached; equal to the source set)."""
+        if self._keyword_sets is None:
+            self._keyword_sets = [None] * len(self)
+        cached = self._keyword_sets[index]
+        if cached is None:
+            words = self.vocabulary
+            start = self.token_offsets[index]
+            end = self.token_offsets[index + 1]
+            cached = frozenset(words[token] for token in self.tokens[start:end])
+            self._keyword_sets[index] = cached
+        return cached
+
+    def object_at(self, index: int) -> FeatureObject:
+        """Materialize one row as a :class:`FeatureObject` (equal to the source)."""
+        return FeatureObject(
+            oid=self.oids[index],
+            x=self.xs[index],
+            y=self.ys[index],
+            keywords=self.keywords(index),
+        )
+
+    def to_objects(self) -> List[FeatureObject]:
+        """Materialize every row, in storage order."""
+        return [self.object_at(index) for index in range(len(self))]
+
+    def sections(self) -> List[Tuple[bytes, object]]:
+        """The (tag, column) pairs this group serializes as."""
+        return [
+            (b"FEXS", self.xs),
+            (b"FEYS", self.ys),
+            (b"FEOB", self._oid_blob),
+            (b"FEOF", self._oid_offsets),
+            (b"FEVB", self._vocab_blob),
+            (b"FEVF", self._vocab_offsets),
+            (b"FETK", self.tokens),
+            (b"FETF", self.token_offsets),
+        ]
+
+    @classmethod
+    def from_sections(cls, sections: Dict[bytes, memoryview]) -> "FeatureColumns":
+        """Rebuild the group zero-copy from unpacked section views."""
+        return cls(
+            _doubles(sections[b"FEXS"]),
+            _doubles(sections[b"FEYS"]),
+            sections[b"FEOB"],
+            _offsets(sections[b"FEOF"]),
+            sections[b"FEVB"],
+            _offsets(sections[b"FEVF"]),
+            _uints(sections[b"FETK"]),
+            _offsets(sections[b"FETF"]),
+        )
+
+
+class CellColumns:
+    """Per-cell assignment plane of one grid over one data column set.
+
+    ``cells[row]`` is the home cell id of data row ``row``;
+    ``partition_rows(p)`` returns the storage-ordered rows routed to reduce
+    partition ``p`` (CSR: ``row_offsets``/``rows``).  Routing uses the SPQ
+    jobs' partition rule ``(cell_id - 1) % num_partitions``.
+    """
+
+    __slots__ = ("cells", "row_offsets", "rows", "num_partitions")
+
+    def __init__(self, cells, row_offsets, rows, num_partitions: int) -> None:
+        self.cells = cells
+        self.row_offsets = row_offsets
+        self.rows = rows
+        self.num_partitions = int(num_partitions)
+
+    @classmethod
+    def from_assignments(cls, cell_ids: Sequence[int], num_partitions: int) -> "CellColumns":
+        """Bucket per-row cell ids into partition row lists, storage order kept."""
+        cells = array("I", cell_ids)
+        buckets: List[List[int]] = [[] for _ in range(num_partitions)]
+        for row, cell_id in enumerate(cells):
+            buckets[(cell_id - 1) % num_partitions].append(row)
+        row_offsets = array("Q", [0])
+        rows = array("I")
+        for bucket in buckets:
+            rows.extend(bucket)
+            row_offsets.append(len(rows))
+        return cls(cells, row_offsets, rows, num_partitions)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def partition_rows(self, partition: int) -> Sequence[int]:
+        """Storage-ordered data rows of one reduce partition (zero-copy slice)."""
+        start = self.row_offsets[partition]
+        end = self.row_offsets[partition + 1]
+        return self.rows[start:end]
+
+    def sections(self) -> List[Tuple[bytes, object]]:
+        """The (tag, column) pairs this group serializes as."""
+        return [
+            (b"CECL", self.cells),
+            (b"CERO", self.row_offsets),
+            (b"CERW", self.rows),
+            (b"CENP", array("Q", [self.num_partitions])),
+        ]
+
+    @classmethod
+    def from_sections(cls, sections: Dict[bytes, memoryview]) -> "CellColumns":
+        """Rebuild the group zero-copy from unpacked section views."""
+        return cls(
+            _uints(sections[b"CECL"]),
+            _offsets(sections[b"CERO"]),
+            _uints(sections[b"CERW"]),
+            _offsets(sections[b"CENP"])[0],
+        )
+
+
+class ColumnStore:
+    """A (data, features, cells) column bundle with one serialized form.
+
+    Any subset of the three groups may be present: the shard-node dataset
+    segment carries ``data + features``, the process-backend reduce segment
+    carries ``data + cells``.  :meth:`attach` is zero-copy -- the returned
+    store indexes the caller's buffer; call :meth:`detach` to drop every
+    view before the underlying buffer (e.g. a shared-memory segment) is
+    closed, otherwise the close raises ``BufferError``.
+    """
+
+    def __init__(
+        self,
+        data: Optional[DataColumns] = None,
+        features: Optional[FeatureColumns] = None,
+        cells: Optional[CellColumns] = None,
+    ) -> None:
+        self.data = data
+        self.features = features
+        self.cells = cells
+
+    @classmethod
+    def from_datasets(
+        cls,
+        data_objects: Optional[Sequence[DataObject]] = None,
+        feature_objects: Optional[Sequence[FeatureObject]] = None,
+        cell_ids: Optional[Sequence[int]] = None,
+        num_partitions: int = 0,
+    ) -> "ColumnStore":
+        """Pack whichever dataset pieces are given into a column bundle."""
+        return cls(
+            data=DataColumns.from_objects(data_objects) if data_objects is not None else None,
+            features=(
+                FeatureColumns.from_objects(feature_objects)
+                if feature_objects is not None
+                else None
+            ),
+            cells=(
+                CellColumns.from_assignments(cell_ids, num_partitions)
+                if cell_ids is not None
+                else None
+            ),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize every present group into one framed buffer."""
+        sections: List[Tuple[bytes, object]] = []
+        for group in (self.data, self.features, self.cells):
+            if group is not None:
+                sections.extend(group.sections())
+        return pack_sections(sections)
+
+    @classmethod
+    def attach(cls, buffer: "bytes | memoryview") -> "ColumnStore":
+        """Zero-copy view over a :meth:`to_bytes` buffer."""
+        sections = unpack_sections(buffer)
+        return cls(
+            data=DataColumns.from_sections(sections) if b"DAXS" in sections else None,
+            features=FeatureColumns.from_sections(sections) if b"FEXS" in sections else None,
+            cells=CellColumns.from_sections(sections) if b"CECL" in sections else None,
+        )
+
+    def detach(self) -> None:
+        """Drop every buffer view so the backing segment can be closed."""
+        self.data = None
+        self.features = None
+        self.cells = None
+
+
+# ---------------------------------------------------------------------- #
+# reduce-side cell blocks
+
+
+class DataBlock:
+    """One grid cell's data objects, reduce-ready in columnar form.
+
+    Injected into a reduce group ahead of the live feature stream in place
+    of the per-entry preloaded data records: the columns are extracted once
+    per cell per dataset snapshot (or attached from shared memory) instead
+    of once per query, and the lazily built x-sorted permutation narrows
+    range predicates to the candidate window of each feature.
+
+    ``objs``/``xs``/``ys`` are parallel, in storage order -- the exact order
+    the per-entry path would have streamed the cell's data objects.
+    """
+
+    __slots__ = ("group", "objs", "xs", "ys", "_sorted_xs", "_sorted_rows", "_oids")
+
+    def __init__(self, group: int, objs: List[DataObject], xs, ys) -> None:
+        self.group = group
+        self.objs = objs
+        self.xs = xs
+        self.ys = ys
+        self._sorted_xs: Optional[List[float]] = None
+        self._sorted_rows: Optional[List[int]] = None
+        self._oids: Optional[List[str]] = None
+
+    @classmethod
+    def from_objects(cls, group: int, objs: List[DataObject]) -> "DataBlock":
+        """Build a block over already-materialized objects (thread/serial path)."""
+        return cls(
+            group, objs, [obj.x for obj in objs], [obj.y for obj in objs]
+        )
+
+    def __len__(self) -> int:
+        return len(self.objs)
+
+    @property
+    def oids(self) -> List[str]:
+        """Parallel oid column (cached; used by the report-as-you-go reduce)."""
+        if self._oids is None:
+            self._oids = [obj.oid for obj in self.objs]
+        return self._oids
+
+    def candidate_rows(self, low: float, high: float) -> List[int]:
+        """Storage rows whose x lies in ``[low, high]``, in x-sorted order.
+
+        Callers owe every returned row the exact squared-distance test; the
+        window only bounds which rows *can* pass it.
+        """
+        sorted_xs = self._sorted_xs
+        if sorted_xs is None:
+            order = sorted(range(len(self.xs)), key=self.xs.__getitem__)
+            self._sorted_rows = [row for row in order]
+            self._sorted_xs = sorted_xs = [self.xs[row] for row in order]
+        return self._sorted_rows[bisect_left(sorted_xs, low) : bisect_right(sorted_xs, high)]

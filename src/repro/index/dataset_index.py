@@ -27,11 +27,13 @@ emission order) -- so batch results equal sequential results exactly.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.index.columns import CellColumns, ColumnStore, DataBlock
 from repro.index.records import PreAssignedData, PreAssignedFeature
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalJobRunner, PreloadedShuffle
@@ -112,10 +114,12 @@ class DatasetIndex:
         self._data_cell_counts: Dict[int, int] = dict(Counter(data_cells))
         #: storage position -> home cell of every feature (radius-independent;
         #: the planner distributes estimated feature copies over these cells).
-        locate = grid.locate
-        self._feature_homes: List[int] = [
-            locate(feature.x, feature.y) for feature in self._feature_objects
-        ]
+        self._feature_homes: List[int] = list(
+            grid.locate_many(
+                [feature.x for feature in self._feature_objects],
+                [feature.y for feature in self._feature_objects],
+            )
+        )
         #: total text-serialized size of all features, matching the jobs'
         #: ``estimated_record_size`` formula (24 bytes + keyword lengths).
         self._total_feature_bytes = sum(
@@ -128,6 +132,16 @@ class DatasetIndex:
         self._feature_cells: Dict[float, Dict[int, Tuple[int, ...]]] = {}
         #: job class -> preloaded data-object shuffle snapshot.
         self._data_shuffles: Dict[type, PreloadedShuffle] = {}
+        #: Columnar data plane over this snapshot, shared by every job class
+        #: (a reduce block's value stream is DataObject instances in all SPQ
+        #: jobs): the per-row cell assignment (lazy CSR), lazily built
+        #: per-partition reduce blocks, and -- for process backends -- a
+        #: lazily published shared-memory segment of the same columns.
+        self._data_cells: List[int] = data_cells
+        self._cell_columns: Optional[CellColumns] = None
+        self._blocks: Optional[List[object]] = None
+        self._plane: object = None  # None = not tried, False = unavailable/released
+        self._plane_lock = threading.Lock()
         #: oid -> estimated serialized size, shared by every job of a batch
         #: (a job's own memo dies with the query; this one lives with the
         #: dataset snapshot, so sizes are computed once per feature ever).
@@ -273,8 +287,106 @@ class DatasetIndex:
         if cached is None:
             runner = LocalJobRunner(num_reducers=self.grid.num_cells)
             cached = runner.build_preloaded_shuffle(job, self._data_records)
+            # Attach the columnar plane (shared across job classes -- every
+            # SPQ job's preloaded value stream is the same DataObject
+            # instances): columnar-mode runs replace the per-entry partitions
+            # with cached reduce blocks, process backends with shared-memory
+            # descriptors.  Object-mode runs ignore both.
+            cached.block_provider = self.partition_block
+            cached.shared_provider = self.shared_plane_ref
             self._data_shuffles[key] = cached
         return cached
+
+    # ------------------------------------------------------------------ #
+    # columnar data plane
+
+    def cell_columns(self) -> CellColumns:
+        """Per-row cell assignment + partition CSR (built once, lazily)."""
+        columns = self._cell_columns
+        if columns is None:
+            # Idempotent build: a benign race between engines sharing this
+            # index produces equal columns, and the slot write is atomic.
+            columns = self._cell_columns = CellColumns.from_assignments(
+                self._data_cells, self.grid.num_cells
+            )
+        return columns
+
+    def partition_block(self, partition: int) -> Optional[Tuple[int, DataBlock]]:
+        """``(group, DataBlock)`` of one reduce partition (None when empty).
+
+        Blocks are materialized lazily per partition and cached for the
+        lifetime of the snapshot, so the per-query cost of a columnar reduce
+        over a warmed partition is a single list lookup -- no entry copying,
+        no re-sorting (the block also caches its x-sorted permutation).
+        """
+        blocks = self._blocks
+        if blocks is None:
+            blocks = self._blocks = [False] * self.grid.num_cells
+        block = blocks[partition]
+        if block is False:
+            cells = self.cell_columns()
+            rows = cells.partition_rows(partition)
+            if len(rows) == 0:
+                block = None
+            else:
+                objects = self._data_objects
+                built = DataBlock.from_objects(
+                    int(cells.cells[rows[0]]), [objects[row] for row in rows]
+                )
+                block = (built.group, built)
+            blocks[partition] = block
+        return block
+
+    def shared_plane_ref(self, partition: int) -> Optional[Tuple[str, int]]:
+        """Shared-memory descriptor of one partition, or None.
+
+        Publishing the plane (one segment holding the coordinate/oid columns
+        plus the cell CSR) happens on first use and is skipped -- returning
+        None, which sends process backends down the pickle-blob path -- when
+        shared memory is unavailable or the plane was already released.
+        """
+        plane = self._plane
+        if plane is None:
+            plane = self._ensure_plane()
+        if plane is False:
+            return None
+        return plane.partition_ref(partition)
+
+    def _ensure_plane(self) -> object:
+        from repro.execution.shm import OwnedSegmentPlane, shared_memory_available
+
+        with self._plane_lock:
+            plane = self._plane
+            if plane is None:
+                plane = False
+                if shared_memory_available():
+                    try:
+                        payload = ColumnStore.from_datasets(
+                            data_objects=self._data_objects,
+                            cell_ids=self._data_cells,
+                            num_partitions=self.grid.num_cells,
+                        ).to_bytes()
+                        plane = OwnedSegmentPlane(payload)
+                    except (OSError, ValueError):
+                        plane = False
+                self._plane = plane
+        return plane
+
+    def release(self) -> None:
+        """Release the published shared-memory plane (idempotent).
+
+        Called when the index leaves its cache (eviction, invalidation) or
+        its engine/service shuts down.  In-process blocks stay usable --
+        they are plain Python lists -- and the segment's name is unlinked
+        once the last attachment closes.  The plane slot resets to
+        "untried", so an index that keeps serving queries after a shutdown
+        (engines stay usable after ``close()``) simply republishes on next
+        use.
+        """
+        with self._plane_lock:
+            plane, self._plane = self._plane, None
+        if plane is not None and plane is not False:
+            plane.release()
 
     # ------------------------------------------------------------------ #
     # query preparation

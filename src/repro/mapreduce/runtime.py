@@ -91,6 +91,14 @@ class PreloadedShuffle:
     _blobs: Optional[List[Optional[bytes]]] = field(
         default=None, repr=False, compare=False
     )
+    #: Columnar data plane, attached by the DatasetIndex that built this
+    #: snapshot: ``block_provider(i)`` returns partition ``i``'s ``(group,
+    #: DataBlock)`` (or None), ``shared_provider(i)`` its shared-memory
+    #: descriptor ``(segment name, i)`` (or None).  Both are optional; when
+    #: absent -- or when the job runs the object data plane -- runs fall back
+    #: to the per-entry partitions above.
+    block_provider: Optional[Any] = field(default=None, repr=False, compare=False)
+    shared_provider: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def partition_blob(self, index: int) -> bytes:
         """Pickled form of ``partitions[index]`` (computed once, then cached)."""
@@ -319,6 +327,16 @@ class LocalJobRunner:
         skipped: Optional[Set[int]] = None,
     ) -> Tuple[List[Any], List[ReduceTaskReport]]:
         tasks: List[ReduceTask] = []
+        # The columnar plane only engages when the snapshot publishes one AND
+        # the job runs the columnar data plane; otherwise (object-mode oracle
+        # runs, jobs without the attribute, plain snapshots) every task uses
+        # the per-entry partitions, exactly as before.
+        use_blocks = (
+            preloaded is not None
+            and preloaded.block_provider is not None
+            and getattr(job, "dataplane", "object") == "columnar"
+        )
+        shared = preloaded.shared_provider if use_blocks else None
         for index, bucket in enumerate(live):
             if skipped is not None and index in skipped:
                 continue
@@ -329,6 +347,14 @@ class LocalJobRunner:
                         entries=bucket,
                         preloaded_entries=preloaded.partitions[index],
                         preloaded_blob=lambda i=index: preloaded.partition_blob(i),
+                        preloaded_block=(
+                            (lambda i=index: preloaded.block_provider(i))
+                            if use_blocks
+                            else None
+                        ),
+                        preloaded_ref=(
+                            (lambda i=index: shared(i)) if shared is not None else None
+                        ),
                     )
                 )
             else:

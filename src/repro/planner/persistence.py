@@ -133,20 +133,35 @@ def restore_calibration(path: str, calibrator: Calibrator) -> None:
 
 
 def try_restore_calibration(
-    path: Optional[str], calibrator: Calibrator
+    path: Optional[str], calibrator: Calibrator, seed_path: Optional[str] = None
 ) -> Optional[str]:
     """Best-effort restore for services that can start cold.
 
-    Returns None on success (or when ``path`` is None / does not exist yet),
-    and the rejection reason string when the snapshot was rejected -- the
-    caller logs it and serves with a cold calibrator.
+    The scope's own snapshot at ``path`` always wins; when it does not exist
+    yet (a cold scope) and ``seed_path`` names an existing snapshot, the
+    calibrator is *seeded* from it instead -- sharded deployments point every
+    shard's seed at one shared global snapshot so a freshly split shard
+    starts from fleet-wide estimates rather than from zero, then diverges as
+    it learns from its own slice (checkpoints still go to ``path`` only).
+
+    Returns None on success (or when neither file exists), and the rejection
+    reason string when the snapshot that was attempted failed validation --
+    the caller logs it and serves with a cold calibrator.  A rejected seed
+    never masks the primary: the seed is only read when the primary is
+    absent.
     """
-    if path is None or not os.path.exists(path):
+    if path is not None and os.path.exists(path):
+        try:
+            restore_calibration(path, calibrator)
+        except CalibrationStateError as exc:
+            return str(exc)
         return None
-    try:
-        restore_calibration(path, calibrator)
-    except CalibrationStateError as exc:
-        return str(exc)
+    if seed_path is not None and os.path.exists(seed_path):
+        try:
+            restore_calibration(seed_path, calibrator)
+        except CalibrationStateError as exc:
+            return f"calibration seed rejected: {exc}"
+        return None
     return None
 
 

@@ -45,6 +45,8 @@ paths are ``404``; unsupported methods are ``405``; execution failures are
 from __future__ import annotations
 
 import json
+import socket
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Mapping, Optional, Tuple
 
@@ -74,6 +76,8 @@ class QueryHTTPServer(ThreadingHTTPServer):
         The service must be started by the caller; the server only routes
         requests to it.  ``quiet`` suppresses per-request access logging.
         """
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
         super().__init__(address, _ServiceRequestHandler)
         self.service = service
         self.quiet = quiet
@@ -83,12 +87,55 @@ class QueryHTTPServer(ThreadingHTTPServer):
         """The bound TCP port (useful with an ephemeral bind)."""
         return self.server_address[1]
 
+    # ------------------------------------------------------------------ #
+    # connection tracking: clients hold HTTP/1.1 keep-alive connections
+    # open between requests, so a handler thread can outlive serve_forever
+    # blocked on the next request line.  shutdown() therefore also shuts
+    # down every live connection -- a stopped server must stop answering,
+    # not keep serving whoever already had a warm connection.
+
+    def process_request(self, request, client_address) -> None:
+        """Track the accepted connection before handing it to a handler."""
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        """Stop tracking a connection its handler has finished with."""
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Shut down every live (possibly idle keep-alive) connection."""
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Stop serve_forever, then cut every live keep-alive connection."""
+        super().shutdown()
+        self.close_connections()
+
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests into the bound :class:`QueryService`."""
 
     server: QueryHTTPServer
     protocol_version = "HTTP/1.1"
+    #: Idle keep-alive connections are dropped after this many seconds so a
+    #: silent client cannot pin a handler thread forever; active request
+    #: processing does not read the socket and is unaffected.
+    timeout = 120.0
+    #: Responses go out as two small writes (header flush, then body); with
+    #: Nagle on, the second write stalls behind the peer's delayed ACK once
+    #: a keep-alive connection ages out of quick-ACK mode (~40ms per
+    #: response).  TCP_NODELAY sends both immediately.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------ #
     # routing

@@ -29,6 +29,7 @@ directly.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -94,6 +95,10 @@ class ServiceConfig:
         result_cache_capacity: Entries of the response LRU (0 disables it).
         calibration_path: Durable planner-calibration snapshot location;
             None disables persistence.
+        calibration_seed_path: Snapshot read *only on a cold start* (no file
+            at ``calibration_path`` yet) to seed the calibrator; checkpoints
+            never write here.  Sharded deployments point every shard at one
+            shared global snapshot.
         checkpoint_interval_seconds: Periodic calibration checkpoint cadence
             while serving (0 = save only on shutdown).
         request_timeout_seconds: How long one submitted request may wait for
@@ -111,6 +116,7 @@ class ServiceConfig:
     batch_window_seconds: float = 0.0
     result_cache_capacity: int = 256
     calibration_path: Optional[str] = None
+    calibration_seed_path: Optional[str] = None
     checkpoint_interval_seconds: float = 0.0
     request_timeout_seconds: float = 60.0
     default_k: int = 10
@@ -136,6 +142,7 @@ class _ServiceCounters:
     last_checkpoint_unix: Optional[float] = None
     checkpoint_error: Optional[str] = None
     calibration_restored: bool = False
+    calibration_seeded: bool = False
     calibration_rejected: Optional[str] = None
 
 
@@ -257,15 +264,24 @@ class QueryService:
                 return self
             self._started = True
             self._started_monotonic = time.monotonic()
-        if self._planner is not None and self.config.calibration_path:
+        if self._planner is not None and (
+            self.config.calibration_path or self.config.calibration_seed_path
+        ):
+            primary = self.config.calibration_path
+            primary_exists = bool(primary) and os.path.exists(primary)
             rejected = try_restore_calibration(
-                self.config.calibration_path, self._planner.calibrator
+                primary,
+                self._planner.calibrator,
+                seed_path=self.config.calibration_seed_path,
             )
             with self._lock:
                 self._counters.calibration_rejected = rejected
                 self._counters.calibration_restored = (
                     rejected is None
                     and self._planner.calibrator.observations > 0
+                )
+                self._counters.calibration_seeded = (
+                    self._counters.calibration_restored and not primary_exists
                 )
         self._batcher.start()
         if (
@@ -301,6 +317,10 @@ class QueryService:
             self.checkpoint()
         for engine in self._engines:
             engine.close()
+        # The engine pool shares one index cache (each pooled engine's
+        # close() leaves shared caches alone), so the service unpublishes
+        # the cached indexes' shared-memory planes exactly once here.
+        self._index_cache.release_all()
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -646,7 +666,9 @@ class QueryService:
             planner_stats["calibration"] = self._planner.calibrator.snapshot()
             planner_stats["persistence"] = {
                 "path": self.config.calibration_path,
+                "seed_path": self.config.calibration_seed_path,
                 "restored": counters.calibration_restored,
+                "seeded": counters.calibration_seeded,
                 "rejected": counters.calibration_rejected,
                 "checkpoints": counters.checkpoints,
                 "last_checkpoint_unix": counters.last_checkpoint_unix,

@@ -108,7 +108,11 @@ class ShardRouter:
         router, keyed by the router dataset version) and, when a
         ``calibration_path`` is configured, each shard persists its own
         calibration under ``<path>.shard<i>`` (shards see different data, so
-        their calibration states legitimately differ).
+        their calibration states legitimately differ).  A shard whose scoped
+        snapshot does not exist yet is *seeded* from the global snapshot at
+        the base path (or an explicit ``calibration_seed_path``), so a
+        re-sharded or freshly added shard plans from fleet-wide estimates
+        instead of paying the cold-start warm-up again.
 
         Raises:
             ValueError: for a non-positive shard count or engine pool.
@@ -164,6 +168,9 @@ class ShardRouter:
                 config,
                 calibration_path=scoped_calibration_path(
                     config.calibration_path, f"shard{shard_id}"
+                ),
+                calibration_seed_path=(
+                    config.calibration_seed_path or config.calibration_path
                 ),
             )
         return config

@@ -28,6 +28,42 @@ def euclidean_distance(x1: float, y1: float, x2: float, y2: float) -> float:
     return math.hypot(x1 - x2, y1 - y2)
 
 
+def candidate_halfwidth(radius: float, coordinate_scale: float) -> float:
+    """Half-width of an axis window guaranteed to contain every range match.
+
+    The range predicate of the hot loops is the *rounded* squared comparison
+    ``dx*dx + dy*dy <= radius*radius`` with ``dx = x - fx`` (see
+    :meth:`repro.model.objects.SpatialObject.within_distance`).  A columnar
+    scan that wants to test only points with ``x`` in ``[fx - w, fx + w]``
+    must pick ``w`` so that no point *outside* the window could still pass
+    the rounded predicate -- otherwise the window changes results.
+
+    Under IEEE-754 double rounding a passing pair satisfies
+    ``dx*dx <= radius*radius`` only up to a few ulps (one rounded add, two
+    rounded squares, underflow of tiny squares near ``radius == 0``), and
+    the window comparison itself is made against rounded interval endpoints
+    (error on the order of ``ulp(|fx|)``).  The returned half-width is the
+    exact bound padded by 8 ulps at both the radius scale and the caller's
+    coordinate scale, which strictly dominates every rounding term; the
+    window is therefore a superset of the matches, never a filter of them.
+
+    Args:
+        radius: The query radius ``r >= 0``.
+        coordinate_scale: Magnitude bound of the coordinates being compared
+            (e.g. ``abs(fx) + radius`` for a window centred on ``fx``).
+
+    Returns:
+        ``w`` such that every point that can pass the rounded predicate has
+        ``x`` within ``[fx - w, fx + w]`` (closed, compared in doubles).
+    """
+    squared = radius * radius
+    # 5e-324 absorbs gradual-underflow acceptance near radius == 0, where
+    # dx*dx can round to 0.0 for dx up to ~1.6e-162.
+    bound = math.sqrt(squared + 8.0 * math.ulp(squared) + 5e-324)
+    bound += 8.0 * math.ulp(bound)
+    return bound + 8.0 * math.ulp(max(abs(coordinate_scale), bound))
+
+
 @dataclass(frozen=True)
 class BoundingBox:
     """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.

@@ -8,8 +8,10 @@ numbering).  Each cell corresponds to one Reduce task.
 
 from __future__ import annotations
 
+import math
+from array import array
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.exceptions import InvalidGridError
 from repro.spatial.geometry import BoundingBox
@@ -47,6 +49,9 @@ class UniformGrid:
         self.cells_y = cells_y
         self.cell_width = extent.width / cells_x
         self.cell_height = extent.height / cells_y
+        # Per-axis cell bounds, filled lazily by _axis_bounds(): building one
+        # BoundingBox per MINDIST probe is what made neighbours_within hot.
+        self._bounds: "Tuple[array, array, array, array] | None" = None
 
     # ------------------------------------------------------------------ #
     # identification
@@ -123,9 +128,76 @@ class UniformGrid:
         row = min(max(row, 0), self.cells_y - 1)
         return self.cell_id(col, row)
 
+    def locate_many(self, xs: Sequence[float], ys: Sequence[float]) -> "array":
+        """Cell ids of many points at once (columnar :meth:`locate`).
+
+        Same arithmetic and clamping as :meth:`locate`, without the
+        per-point method call and cell-id validation -- the clamped
+        ``(col, row)`` is always inside the grid by construction.
+        """
+        min_x = self.extent.min_x
+        min_y = self.extent.min_y
+        cell_width = self.cell_width
+        cell_height = self.cell_height
+        max_col = self.cells_x - 1
+        max_row = self.cells_y - 1
+        cells_x = self.cells_x
+        out = array("I", bytes(4 * len(xs)))
+        for index, (x, y) in enumerate(zip(xs, ys)):
+            col = int((x - min_x) / cell_width)
+            row = int((y - min_y) / cell_height)
+            if col < 0:
+                col = 0
+            elif col > max_col:
+                col = max_col
+            if row < 0:
+                row = 0
+            elif row > max_row:
+                row = max_row
+            out[index] = row * cells_x + col + 1
+        return out
+
     def min_distance(self, cell_id: int, x: float, y: float) -> float:
         """``MINDIST`` between a point and a cell (0 if the point is inside)."""
         return self.cell_box(cell_id).min_distance(x, y)
+
+    def _axis_bounds(self) -> Tuple["array", "array", "array", "array"]:
+        """Per-column/per-row cell bounds, with :meth:`cell_box` arithmetic.
+
+        Built lazily once per grid (idempotent, so a benign build race
+        between engines sharing the grid is harmless) and reused by every
+        :meth:`neighbours_within` probe instead of constructing one
+        :class:`BoundingBox` per candidate cell.
+        """
+        bounds = self._bounds
+        if bounds is None:
+            extent = self.extent
+            col_min = array(
+                "d", (extent.min_x + col * self.cell_width for col in range(self.cells_x))
+            )
+            col_max = array(
+                "d",
+                (
+                    extent.max_x
+                    if col == self.cells_x - 1
+                    else extent.min_x + (col + 1) * self.cell_width
+                    for col in range(self.cells_x)
+                ),
+            )
+            row_min = array(
+                "d", (extent.min_y + row * self.cell_height for row in range(self.cells_y))
+            )
+            row_max = array(
+                "d",
+                (
+                    extent.max_y
+                    if row == self.cells_y - 1
+                    else extent.min_y + (row + 1) * self.cell_height
+                    for row in range(self.cells_y)
+                ),
+            )
+            bounds = self._bounds = (col_min, col_max, row_min, row_max)
+        return bounds
 
     def neighbours_within(
         self, x: float, y: float, radius: float, home: int | None = None
@@ -139,6 +211,13 @@ class UniformGrid:
 
         Callers that already located the point may pass the enclosing cell id
         as ``home`` to skip the redundant :meth:`locate`.
+
+        The MINDIST probe runs over the cached per-axis bounds with the exact
+        component arithmetic of :meth:`BoundingBox.min_distance` -- same
+        ``dx``/``dy`` doubles, same ``hypot(dx, dy) <= radius`` comparison --
+        so the returned duplication lists are bit-for-bit those of the
+        per-box path (``hypot(d, 0) == abs(d)`` and ``hypot >= max(dx, dy)``
+        justify the componentwise shortcuts).
         """
         if radius < 0:
             raise InvalidGridError(f"radius must be >= 0, got {radius}")
@@ -147,14 +226,41 @@ class UniformGrid:
         home_col, home_row = self.cell_position(home)
         reach_x = int(radius / self.cell_width) + 1
         reach_y = int(radius / self.cell_height) + 1
+        col_min, col_max, row_min, row_max = self._axis_bounds()
+        hypot = math.hypot
+        cells_x = self.cells_x
         result: List[int] = []
+        append = result.append
         for row in range(max(0, home_row - reach_y), min(self.cells_y, home_row + reach_y + 1)):
+            low = row_min[row]
+            high = row_max[row]
+            if y < low:
+                dy = low - y
+            elif y > high:
+                dy = y - high
+            else:
+                dy = 0.0
+            if dy > radius:
+                continue
+            base = row * cells_x
             for col in range(max(0, home_col - reach_x), min(self.cells_x, home_col + reach_x + 1)):
-                cell_id = self.cell_id(col, row)
+                cell_id = base + col + 1
                 if cell_id == home:
                     continue
-                if self.min_distance(cell_id, x, y) <= radius:
-                    result.append(cell_id)
+                low = col_min[col]
+                high = col_max[col]
+                if x < low:
+                    dx = low - x
+                elif x > high:
+                    dx = x - high
+                else:
+                    dx = 0.0
+                if dx > radius:
+                    continue
+                # dx <= radius and dy <= radius here; a zero component makes
+                # hypot degenerate to the other component, already bounded.
+                if dx == 0.0 or dy == 0.0 or hypot(dx, dy) <= radius:
+                    append(cell_id)
         return result
 
     # ------------------------------------------------------------------ #

@@ -100,9 +100,14 @@ class GridPartitioner:
 
         Used by :class:`~repro.index.dataset_index.DatasetIndex` to compute
         the whole dataset's (radius-independent) cell assignment once.
+        Batched through :meth:`~repro.spatial.grid.UniformGrid.locate_many`
+        (same arithmetic as :meth:`assign_data_object`, columnar).
         """
-        locate = self.grid.locate
-        return [locate(obj.x, obj.y) for obj in objects]
+        objects = list(objects)
+        located = self.grid.locate_many(
+            [obj.x for obj in objects], [obj.y for obj in objects]
+        )
+        return list(located)
 
     # ------------------------------------------------------------------ #
     # whole-dataset partitioning (used by the centralized simulation path

@@ -42,6 +42,38 @@ def non_spatial_score(feature_keywords: KeywordSet, query_keywords: KeywordSet) 
     return jaccard(feature_keywords, query_keywords)
 
 
+class JaccardScorer:
+    """Memoizing Jaccard scorer bound to one query keyword set.
+
+    ``w(f, q)`` is a pure function of the two sets, and one query evaluates
+    it against the same feature keyword set once per duplicated copy of the
+    feature (Lemma 1 duplication) -- so the score is computed once per
+    distinct set and memoized under the ``frozenset`` itself (whose hash
+    CPython caches after the first computation).  Memoization returns the
+    identical float, so scores, comparisons and results are unchanged; the
+    engine's work counters track the cost model's logical computations, not
+    this cache, and are unaffected by it.
+
+    The memo lives for one query (one scorer per job instance) and is
+    dropped at the process boundary (see ``_SPQJobBase.__getstate__``).
+    """
+
+    __slots__ = ("query_keywords", "_memo")
+
+    def __init__(self, query_keywords: KeywordSet) -> None:
+        self.query_keywords = frozenset(query_keywords)
+        self._memo: dict = {}
+
+    def score(self, feature_keywords: frozenset) -> float:
+        """``w(f, q)`` for one feature keyword set (memoized)."""
+        memo = self._memo
+        cached = memo.get(feature_keywords)
+        if cached is None:
+            cached = jaccard(feature_keywords, self.query_keywords)
+            memo[feature_keywords] = cached
+        return cached
+
+
 def upper_bound_for_length(feature_length: int, query_length: int) -> float:
     """Best possible Jaccard score for a feature object with ``feature_length`` keywords.
 

@@ -230,3 +230,37 @@ class TestProcessBackendDifferentialFuzz:
                     f"{algorithm} differs between process and serial backends "
                     f"({kind}/{seed})"
                 )
+
+
+class TestDataplaneParity:
+    """Columnar reduce paths vs the per-object oracle, bit-for-bit.
+
+    ``REPRO_DATAPLANE=object`` forces the original per-object loops the
+    columnar hot paths replaced; every algorithm must agree across the two
+    planes on ids, scores *and* counters -- the counters feed the planner's
+    calibration, so the columnar plane must also preserve the cost model's
+    accounting exactly.
+    """
+
+    @pytest.mark.parametrize("kind,seed", DATASETS)
+    def test_columnar_is_bit_for_bit_identical(self, kind, seed, monkeypatch):
+        data, features = build_dataset(kind, seed)
+        queries = build_queries(seed + 31)
+
+        def run(mode: str):
+            monkeypatch.setenv("REPRO_DATAPLANE", mode)
+            snapshots = []
+            with SPQEngine(data, features, config=EngineConfig(grid_size=6)) as engine:
+                for algorithm in MR_ALGORITHMS:
+                    for result in engine.execute_many(
+                        queries, algorithm=algorithm, grid_size=6
+                    ):
+                        snapshots.append(
+                            (fingerprint(result), result.stats["counters"])
+                        )
+            return snapshots
+
+        oracle = run("object")
+        columnar = run("columnar")
+        for index, (want, got) in enumerate(zip(oracle, columnar)):
+            assert got == want, f"dataplane divergence at run {index}"

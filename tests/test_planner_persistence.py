@@ -278,3 +278,74 @@ class TestEngineSnapshotRestore:
         with pytest.raises(JobConfigurationError, match="disabled"):
             engine.restore_planner({})
         engine.close()
+
+
+class TestCalibrationSeeding:
+    """``seed_path``: shard calibrators warm-started from a global snapshot."""
+
+    def test_seed_used_when_primary_absent(self, tmp_path):
+        seed = tmp_path / "global.json"
+        save_calibration(str(seed), trained_calibrator())
+        calibrator = Calibrator()
+        reason = try_restore_calibration(
+            str(tmp_path / "shard.json"), calibrator, seed_path=str(seed)
+        )
+        assert reason is None
+        assert all_lookups(calibrator) == all_lookups(trained_calibrator())
+
+    def test_primary_wins_over_seed(self, tmp_path):
+        primary_calibrator = trained_calibrator(smoothing=0.3)
+        seed_calibrator = trained_calibrator(smoothing=0.7)
+        assert all_lookups(primary_calibrator) != all_lookups(seed_calibrator)
+        primary = tmp_path / "shard.json"
+        seed = tmp_path / "global.json"
+        save_calibration(str(primary), primary_calibrator)
+        save_calibration(str(seed), seed_calibrator)
+        calibrator = Calibrator()
+        assert try_restore_calibration(
+            str(primary), calibrator, seed_path=str(seed)
+        ) is None
+        assert all_lookups(calibrator) == all_lookups(primary_calibrator)
+
+    def test_rejected_seed_reports_and_stays_cold(self, tmp_path):
+        seed = tmp_path / "global.json"
+        seed.write_text("{truncated")
+        calibrator = Calibrator()
+        reason = try_restore_calibration(
+            str(tmp_path / "shard.json"), calibrator, seed_path=str(seed)
+        )
+        assert reason is not None and "seed rejected" in reason
+        assert calibrator.observations == 0
+
+    def test_rejected_primary_never_falls_back_to_seed(self, tmp_path):
+        # A corrupt primary is a real problem to surface, not a cue to
+        # silently serve from fleet-wide estimates instead.
+        primary = tmp_path / "shard.json"
+        primary.write_text("{truncated")
+        seed = tmp_path / "global.json"
+        save_calibration(str(seed), trained_calibrator())
+        calibrator = Calibrator()
+        reason = try_restore_calibration(
+            str(primary), calibrator, seed_path=str(seed)
+        )
+        assert reason is not None and "seed" not in reason
+        assert calibrator.observations == 0
+
+    def test_seed_file_never_written(self, tmp_path):
+        seed = tmp_path / "global.json"
+        save_calibration(str(seed), trained_calibrator())
+        before = seed.read_bytes()
+        calibrator = Calibrator()
+        try_restore_calibration(
+            str(tmp_path / "shard.json"), calibrator, seed_path=str(seed)
+        )
+        assert seed.read_bytes() == before
+
+    def test_missing_both_is_silent(self, tmp_path):
+        calibrator = Calibrator()
+        assert try_restore_calibration(
+            str(tmp_path / "shard.json"),
+            calibrator,
+            seed_path=str(tmp_path / "global.json"),
+        ) is None
+        assert calibrator.observations == 0

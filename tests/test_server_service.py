@@ -412,3 +412,67 @@ class TestServiceStats:
         assert stats["batching"]["batches"] == 1
         assert stats["engines"]["count"] == 1
         assert json.dumps(stats)
+
+
+class TestCalibrationSeeding:
+    SPEC = {"keywords": ["w0001"], "k": 3, "radius": 2.0, "algorithm": "auto"}
+
+    def trained_snapshot(self, dataset, path):
+        """A global snapshot written by a donor service; its observations."""
+        with make_service(
+            dataset, calibration_path=str(path), result_cache_capacity=0
+        ) as donor:
+            donor.submit(self.SPEC)
+            donor.submit(self.SPEC)
+            return donor.planner.calibrator.observations
+
+    def test_cold_scope_seeds_from_global_snapshot(
+        self, small_uniform_dataset, tmp_path
+    ):
+        global_path = tmp_path / "global.json"
+        observations = self.trained_snapshot(small_uniform_dataset, global_path)
+        before = global_path.read_bytes()
+        shard_path = tmp_path / "shard.json"
+        with make_service(
+            small_uniform_dataset,
+            calibration_path=str(shard_path),
+            calibration_seed_path=str(global_path),
+        ) as seeded:
+            persistence = seeded.stats()["planner"]["persistence"]
+            assert persistence["seeded"] is True
+            assert persistence["restored"] is True
+            assert persistence["seed_path"] == str(global_path)
+            assert seeded.planner.calibrator.observations == observations
+        # Checkpoints go to the scope's own path; the seed is read-only.
+        assert shard_path.exists()
+        assert global_path.read_bytes() == before
+
+    def test_existing_scope_ignores_seed(self, small_uniform_dataset, tmp_path):
+        global_path = tmp_path / "global.json"
+        self.trained_snapshot(small_uniform_dataset, global_path)
+        shard_path = tmp_path / "shard.json"
+        with make_service(
+            small_uniform_dataset,
+            calibration_path=str(shard_path),
+            calibration_seed_path=str(global_path),
+        ):
+            pass  # first start seeds, shutdown checkpoints shard_path
+        with make_service(
+            small_uniform_dataset,
+            calibration_path=str(shard_path),
+            calibration_seed_path=str(global_path),
+        ) as second:
+            persistence = second.stats()["planner"]["persistence"]
+            assert persistence["restored"] is True
+            assert persistence["seeded"] is False
+
+    def test_seed_without_primary_path_still_warms(
+        self, small_uniform_dataset, tmp_path
+    ):
+        global_path = tmp_path / "global.json"
+        observations = self.trained_snapshot(small_uniform_dataset, global_path)
+        with make_service(
+            small_uniform_dataset, calibration_seed_path=str(global_path)
+        ) as seeded:
+            assert seeded.planner.calibrator.observations == observations
+            assert seeded.stats()["planner"]["persistence"]["seeded"] is True

@@ -568,3 +568,39 @@ class TestQueryServiceSwap:
         assert stats["requests"]["failed"] == 0
         assert stats["dataset"]["swaps"] == 6
         assert stats["latency"]["count"] == stats["requests"]["completed"]
+
+
+class TestShardCalibrationSeeding:
+    def test_shards_seed_from_the_global_snapshot(
+        self, small_uniform_dataset, tmp_path
+    ):
+        base = tmp_path / "calibration.json"
+        spec = {"keywords": ["w0001"], "k": 3, "radius": 2.0, "algorithm": "auto"}
+        with QueryService(
+            *small_uniform_dataset,
+            engine_config=EngineConfig(grid_size=GRID),
+            config=ServiceConfig(
+                engines=1,
+                default_grid_size=GRID,
+                calibration_path=str(base),
+                result_cache_capacity=0,
+            ),
+        ) as donor:
+            donor.submit(spec)
+            donor.submit(spec)
+            observations = donor.planner.calibrator.observations
+        before = base.read_bytes()
+        with make_router(
+            small_uniform_dataset, shards=2, calibration_path=str(base)
+        ) as router:
+            for shard_id, service in enumerate(router.services):
+                persistence = service.stats()["planner"]["persistence"]
+                assert persistence["path"].endswith(f".shard{shard_id}")
+                assert persistence["seed_path"] == str(base)
+                assert persistence["seeded"] is True
+                assert service.planner.calibrator.observations == observations
+        # Every shard checkpointed under its own scope; the global snapshot
+        # the shards were seeded from is untouched.
+        assert base.read_bytes() == before
+        for shard_id in range(2):
+            assert (tmp_path / f"calibration.json.shard{shard_id}").exists()
