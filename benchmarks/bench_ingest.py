@@ -1,0 +1,556 @@
+"""Streaming-ingest gates: identity, incremental cost, writes under load.
+
+Three checks over the delta-index write path (``POST /objects``,
+``src/repro/index/delta.py``; see ``docs/ingest.md``):
+
+1. **Identity** -- after a scripted sequence of incremental append/delete
+   batches, every response of (a) an unsharded delta-serving service and
+   (b) a 4-shard delta-routing :class:`ShardRouter` is **bit-for-bit**
+   identical (oids and scores, ties included) to a fresh engine
+   bulk-swapped to the final dataset state with the served extent pinned
+   -- across pSPQ, eSPQlen, eSPQsco and ``auto`` (an ``auto`` answer must
+   equal some explicit algorithm's oracle answer, which is exactly the
+   planner's contract).  Re-checked after a compaction folds the delta.
+2. **Incremental cost** -- absorbing a 1% append batch (write + first
+   probe query) must be at least ``--min-speedup`` (default 5x) cheaper
+   than a full ``swap_datasets`` of the same final state (swap + first
+   probe query), which is the whole point of the delta layer.
+3. **Writes under load** -- ``--requests`` (default 3000) requests are
+   served by client threads while write batches land and one compaction
+   runs mid-stream: no request may fail or be lost, and every response
+   must be bit-for-bit equal to one of the staged dataset states (the
+   state before any write, or the state after any complete batch) --
+   a torn answer that mixes two states fails the gate.
+
+Run it as::
+
+    python benchmarks/bench_ingest.py                  # report only
+    python benchmarks/bench_ingest.py --check          # exit 1 on any gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.engine import EngineConfig, SPQEngine
+from repro.datagen.synthetic import SyntheticDatasetConfig, generate_uniform
+from repro.execution import execution_info
+from repro.index.delta import DatasetDelta, materialize
+from repro.model.objects import DataObject, FeatureObject
+from repro.model.query import SpatialPreferenceQuery
+from repro.server import QueryService, ServiceConfig
+from repro.sharding import ShardRouter, ShardingConfig
+
+Entry = Tuple[str, float]
+
+MR_ALGORITHMS = ("pspq", "espq-len", "espq-sco")
+
+
+def response_entries(response: Dict[str, object]) -> Tuple[Entry, ...]:
+    """The (oid, score) fingerprint of one service/router response."""
+    return tuple(
+        (entry["oid"], entry["score"]) for entry in response["results"]
+    )
+
+
+def engine_entries(result) -> Tuple[Entry, ...]:
+    return tuple((entry.obj.oid, entry.score) for entry in result.entries)
+
+
+def make_specs(seed: int) -> List[Dict[str, object]]:
+    """Mixed workload: every algorithm, multi-keyword and zero-match specs."""
+    rng = random.Random(seed)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(6)]
+    specs: List[Dict[str, object]] = []
+    for index, algorithm in enumerate((*MR_ALGORITHMS, "auto")):
+        for offset, radius in enumerate((2.0, 3.0)):
+            specs.append({
+                "keywords": [pool[(index + offset) % len(pool)]],
+                "k": 5 + 5 * offset,
+                "radius": radius,
+                "algorithm": algorithm,
+            })
+        specs.append({
+            "keywords": [pool[index % len(pool)], pool[(index + 1) % len(pool)]],
+            "k": 10,
+            "radius": 2.0,
+            "algorithm": algorithm,
+        })
+    specs.append({
+        "keywords": ["zz-no-such-keyword"], "k": 5, "radius": 2.0,
+        "algorithm": "espq-sco",
+    })
+    return specs
+
+
+def scripted_ops(data, features, extent, seed: int, batches: int = 6):
+    """Deterministic append/delete batches, appends inside the extent."""
+    rng = random.Random(seed)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(6)]
+    pad_x = (extent.max_x - extent.min_x) * 0.05
+    pad_y = (extent.max_y - extent.min_y) * 0.05
+    live_data = [obj.oid for obj in data]
+    live_features = [obj.oid for obj in features]
+    ops = []
+    for batch in range(batches):
+        append_data = [
+            DataObject(
+                oid=f"in-d{batch}-{i}",
+                x=rng.uniform(extent.min_x + pad_x, extent.max_x - pad_x),
+                y=rng.uniform(extent.min_y + pad_y, extent.max_y - pad_y),
+            )
+            for i in range(rng.randrange(2, 6))
+        ]
+        append_features = [
+            FeatureObject(
+                oid=f"in-f{batch}-{i}",
+                x=rng.uniform(extent.min_x + pad_x, extent.max_x - pad_x),
+                y=rng.uniform(extent.min_y + pad_y, extent.max_y - pad_y),
+                keywords=frozenset(rng.sample(pool, 2)),
+            )
+            for i in range(rng.randrange(1, 4))
+        ]
+        delete_data = (
+            rng.sample(live_data, 2) if batch % 2 else []
+        )
+        delete_features = (
+            rng.sample(live_features, 2) if batch % 3 == 1 else []
+        )
+        for oid in delete_data:
+            live_data.remove(oid)
+        for oid in delete_features:
+            live_features.remove(oid)
+        live_data.extend(obj.oid for obj in append_data)
+        live_features.extend(obj.oid for obj in append_features)
+        ops.append({
+            "append_data": append_data,
+            "append_features": append_features,
+            "delete_data_oids": delete_data,
+            "delete_feature_oids": delete_features,
+        })
+    return ops
+
+
+def apply_ops(target, ops) -> None:
+    for op in ops:
+        target.apply_objects(**op)
+
+
+def final_state(data, features, ops):
+    """The bulk-swap endpoint: every batch folded, in storage order."""
+    delta = DatasetDelta()
+    cur_data, cur_features = list(data), list(features)
+    for op in ops:
+        delta.reset()
+        delta.apply(
+            **op,
+            base_data_oids={obj.oid for obj in cur_data},
+            base_feature_oids={obj.oid for obj in cur_features},
+        )
+        cur_data, cur_features = materialize(
+            cur_data, cur_features, delta.snapshot()
+        )
+    return cur_data, cur_features
+
+
+def oracle_answers(
+    data, features, extent, specs: Sequence[Dict[str, object]], grid_size: int
+) -> List[Dict[str, Tuple[Entry, ...]]]:
+    """Per-spec oracle fingerprints from a pinned-extent bulk-swap engine.
+
+    Explicit specs map to one fingerprint; ``auto`` specs map to the three
+    explicit fingerprints (any planned choice must equal one of them).
+    """
+    answers: List[Dict[str, Tuple[Entry, ...]]] = []
+    with SPQEngine(
+        data, features, config=EngineConfig(grid_size=grid_size), extent=extent
+    ) as engine:
+        for spec in specs:
+            query = SpatialPreferenceQuery.create(
+                k=spec["k"], radius=spec["radius"],
+                keywords=set(spec["keywords"]),
+            )
+            algorithms = (
+                MR_ALGORITHMS
+                if spec["algorithm"] == "auto"
+                else (spec["algorithm"],)
+            )
+            answers.append({
+                algorithm: engine_entries(
+                    engine.execute(query, algorithm=algorithm, grid_size=grid_size)
+                )
+                for algorithm in algorithms
+            })
+    return answers
+
+
+def check_identity(target, specs, expected) -> int:
+    mismatches = 0
+    for spec, want in zip(specs, expected):
+        got = response_entries(target.submit(spec))
+        if got not in set(want.values()):
+            mismatches += 1
+    return mismatches
+
+
+# --------------------------------------------------------------------- #
+# phase 1: identity (unsharded service + 4-shard router vs bulk swap)
+
+
+def run_identity_phase(
+    data, features, grid_size: int, shards: int, seed: int
+) -> Dict[str, object]:
+    specs = make_specs(seed)
+    service = QueryService(
+        data,
+        features,
+        engine_config=EngineConfig(grid_size=grid_size),
+        config=ServiceConfig(engines=1, default_grid_size=grid_size),
+    )
+    router = ShardRouter(
+        data,
+        features,
+        engine_config=EngineConfig(grid_size=grid_size),
+        service_config=ServiceConfig(
+            engines=1, result_cache_capacity=0, default_grid_size=grid_size
+        ),
+        sharding=ShardingConfig(shards=shards),
+    )
+    with service, router:
+        extent = service.engines[0].extent
+        ops = scripted_ops(data, features, extent, seed + 5)
+        fdata, ffeatures = final_state(data, features, ops)
+        expected = oracle_answers(fdata, ffeatures, extent, specs, grid_size)
+
+        apply_ops(service, ops)
+        apply_ops(router, ops)
+        service_mismatches = check_identity(service, specs, expected)
+        router_mismatches = check_identity(router, specs, expected)
+
+        compact_info = service.compact()
+        router_compact = router.compact()
+        service_post_compact = check_identity(service, specs, expected)
+        router_post_compact = check_identity(router, specs, expected)
+
+    total_ops = sum(
+        len(op["append_data"]) + len(op["append_features"])
+        + len(op["delete_data_oids"]) + len(op["delete_feature_oids"])
+        for op in ops
+    )
+    return {
+        "num_specs": len(specs),
+        "write_batches": len(ops),
+        "incremental_ops": total_ops,
+        "shards": shards,
+        "grid_size": grid_size,
+        "service_mismatches": service_mismatches,
+        "router_mismatches": router_mismatches,
+        "service_post_compaction_mismatches": service_post_compact,
+        "router_post_compaction_mismatches": router_post_compact,
+        "compaction_folded_ops": compact_info["folded_ops"],
+        "router_compaction_folded_ops": router_compact["folded_ops"],
+        "identical_results": not (
+            service_mismatches or router_mismatches
+            or service_post_compact or router_post_compact
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# phase 2: incremental cost (1% append vs full swap)
+
+
+def run_cost_phase(
+    data, features, grid_size: int, seed: int, append_fraction: float = 0.01
+) -> Dict[str, object]:
+    rng = random.Random(seed + 9)
+    probe = {"keywords": [f"w{rng.randrange(400):04d}"], "k": 10, "radius": 2.0}
+
+    def timed(service, action) -> float:
+        started = time.perf_counter()
+        action()
+        service.submit(probe)  # first post-op query pays any rebuild
+        return time.perf_counter() - started
+
+    def build():
+        return QueryService(
+            data,
+            features,
+            engine_config=EngineConfig(grid_size=grid_size),
+            config=ServiceConfig(
+                engines=1, result_cache_capacity=0,
+                default_grid_size=grid_size,
+            ),
+        )
+
+    count = max(1, int(len(data) * append_fraction))
+    with build() as service:
+        extent = service.engines[0].extent
+        pad_x = (extent.max_x - extent.min_x) * 0.05
+        pad_y = (extent.max_y - extent.min_y) * 0.05
+        appended = [
+            DataObject(
+                oid=f"cost-d{i}",
+                x=rng.uniform(extent.min_x + pad_x, extent.max_x - pad_x),
+                y=rng.uniform(extent.min_y + pad_y, extent.max_y - pad_y),
+            )
+            for i in range(count)
+        ]
+        service.submit(probe)  # warm the base indexes
+        append_seconds = timed(
+            service, lambda: service.apply_objects(append_data=appended)
+        )
+    swapped = list(data) + appended
+    with build() as service:
+        service.submit(probe)
+        swap_seconds = timed(
+            service, lambda: service.swap_datasets(swapped, features)
+        )
+    return {
+        "appended_objects": count,
+        "append_fraction": append_fraction,
+        "append_seconds": append_seconds,
+        "full_swap_seconds": swap_seconds,
+        "speedup": (
+            swap_seconds / append_seconds if append_seconds else float("inf")
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# phase 3: writes (and one compaction) under sustained load
+
+
+def run_load_phase(
+    data, features, grid_size: int, requests: int, client_threads: int,
+    seed: int, write_batches: int = 8,
+) -> Dict[str, object]:
+    rng = random.Random(seed + 17)
+    pool = [f"w{rng.randrange(400):04d}" for _ in range(6)]
+    specs = [
+        {"keywords": [word], "k": 5, "radius": radius, "algorithm": algorithm}
+        for word, radius, algorithm in (
+            (pool[0], 2.0, "pspq"),
+            (pool[1], 3.0, "pspq"),
+            (pool[2], 2.0, "espq-len"),
+            (pool[3], 3.0, "espq-len"),
+            (pool[4], 2.0, "espq-sco"),
+            (pool[5], 3.0, "espq-sco"),
+        )
+    ]
+
+    service = QueryService(
+        data,
+        features,
+        engine_config=EngineConfig(grid_size=grid_size),
+        config=ServiceConfig(
+            engines=2, result_cache_capacity=64, default_grid_size=grid_size
+        ),
+    )
+    with service:
+        extent = service.engines[0].extent
+        ops = scripted_ops(data, features, extent, seed + 23,
+                           batches=write_batches)
+
+        # K+1 staged oracles: before any write, and after each batch.
+        staged: List[List[Tuple[Entry, ...]]] = []
+        cur_data, cur_features = list(data), list(features)
+        staged.append([
+            answers[spec["algorithm"]]
+            for spec, answers in zip(
+                specs,
+                oracle_answers(cur_data, cur_features, extent, specs, grid_size),
+            )
+        ])
+        states = [None] * len(ops)
+        for index, op in enumerate(ops):
+            cur_data, cur_features = final_state(cur_data, cur_features, [op])
+            states[index] = (cur_data, cur_features)
+            staged.append([
+                answers[spec["algorithm"]]
+                for spec, answers in zip(
+                    specs,
+                    oracle_answers(
+                        cur_data, cur_features, extent, specs, grid_size
+                    ),
+                )
+            ])
+        references = [
+            {stage[spec_index] for stage in staged}
+            for spec_index in range(len(specs))
+        ]
+
+        issued = 0
+        completed = 0
+        invalid = 0
+        errors: List[str] = []
+        lock = threading.Lock()
+
+        def client(worker: int) -> None:
+            nonlocal issued, completed, invalid
+            local_rng = random.Random(seed + worker)
+            while True:
+                with lock:
+                    if issued >= requests:
+                        return
+                    issued += 1
+                index = local_rng.randrange(len(specs))
+                try:
+                    response = service.submit(specs[index])
+                except Exception as exc:  # noqa: BLE001 - counted as a loss
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                entries = response_entries(response)
+                with lock:
+                    completed += 1
+                    if entries not in references[index]:
+                        invalid += 1
+
+        threads = [
+            threading.Thread(target=client, args=(worker,))
+            for worker in range(client_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        compacted = False
+        for index, op in enumerate(ops):
+            service.apply_objects(**op)
+            if index == len(ops) // 2:
+                service.compact()
+                compacted = True
+            time.sleep(0.05)
+        for thread in threads:
+            thread.join()
+        ingest_stats = service.stats()["ingest"]
+
+    return {
+        "requests": requests,
+        "client_threads": client_threads,
+        "write_batches": len(ops),
+        "compaction_ran": compacted,
+        "compactions": ingest_stats["compactions"],
+        "issued": issued,
+        "completed": completed,
+        "failed": len(errors),
+        "errors": errors[:5],
+        "invalid_responses": invalid,
+        "lost_requests": issued - completed,
+    }
+
+
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=20_000)
+    parser.add_argument("--grid-size", type=int, default=12,
+                        help="query grid (12 is aligned with the 2x2 shard layout)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=3_000,
+                        help="load-phase request count")
+    parser.add_argument("--client-threads", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--json", default=None, help="write the summary JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every gate passes")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required full-swap/append cost ratio")
+    args = parser.parse_args(argv)
+
+    data, features = generate_uniform(
+        SyntheticDatasetConfig(num_objects=args.objects, seed=args.seed)
+    )
+
+    print(f"dataset: {args.objects} objects, grid {args.grid_size}, "
+          f"{args.shards} shards")
+    identity = run_identity_phase(
+        data, features, args.grid_size, args.shards, args.seed
+    )
+    print(f"identity phase: {identity['num_specs']} specs after "
+          f"{identity['write_batches']} batches "
+          f"({identity['incremental_ops']} ops): service="
+          f"{identity['service_mismatches']} router="
+          f"{identity['router_mismatches']} post-compaction="
+          f"{identity['service_post_compaction_mismatches']}/"
+          f"{identity['router_post_compaction_mismatches']} mismatches")
+
+    cost = run_cost_phase(data, features, args.grid_size, args.seed)
+    print(f"cost phase: {cost['appended_objects']}-object append "
+          f"{cost['append_seconds'] * 1000:.1f}ms vs full swap "
+          f"{cost['full_swap_seconds'] * 1000:.1f}ms -> "
+          f"{cost['speedup']:.1f}x cheaper")
+
+    load = run_load_phase(
+        data, features, args.grid_size, args.requests, args.client_threads,
+        args.seed,
+    )
+    print(f"load phase: {load['completed']}/{load['issued']} served during "
+          f"{load['write_batches']} write batches + "
+          f"{load['compactions']} compaction(s); {load['failed']} failed, "
+          f"{load['invalid_responses']} invalid")
+
+    summary = {
+        "execution": execution_info(),
+        "workload": {
+            "objects": args.objects,
+            "grid_size": args.grid_size,
+            "shards": args.shards,
+            "requests": args.requests,
+            "client_threads": args.client_threads,
+            "seed": args.seed,
+        },
+        "identity": identity,
+        "cost": cost,
+        "load": load,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.check:
+        failures = []
+        if not identity["identical_results"]:
+            failures.append(
+                f"identity: service={identity['service_mismatches']} "
+                f"router={identity['router_mismatches']} post-compaction="
+                f"{identity['service_post_compaction_mismatches']}/"
+                f"{identity['router_post_compaction_mismatches']} responses "
+                "differ from the bulk-swap oracle"
+            )
+        if cost["speedup"] < args.min_speedup:
+            failures.append(
+                f"incremental cost: {cost['speedup']:.1f}x below required "
+                f"{args.min_speedup}x vs a full swap"
+            )
+        if load["failed"] or load["lost_requests"]:
+            failures.append(
+                f"load: {load['failed']} failed, "
+                f"{load['lost_requests']} unanswered requests"
+            )
+        if load["invalid_responses"]:
+            failures.append(
+                f"load: {load['invalid_responses']} responses matched no "
+                "staged dataset state"
+            )
+        if not load["compaction_ran"] or not load["compactions"]:
+            failures.append("load: the mid-stream compaction did not run")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: identity bit-for-bit, append {cost['speedup']:.1f}x >= "
+              f"{args.min_speedup}x cheaper than a swap, "
+              f"{load['completed']} requests served losslessly under writes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

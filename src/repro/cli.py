@@ -417,6 +417,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             batch_window_seconds=args.batch_window_ms / 1000.0,
             result_cache_capacity=args.result_cache,
+            compact_threshold=args.compact_threshold,
             calibration_path=args.calibration_path,
             calibration_seed_path=args.calibration_seed,
             checkpoint_interval_seconds=args.checkpoint_interval,
@@ -491,8 +492,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.engines} engines{shard_note})"
     )
     print(
-        "endpoints: POST /query  POST /batch  POST /datasets  "
-        "GET /healthz  GET /stats"
+        "endpoints: POST /query  POST /batch  POST /objects  "
+        "POST /datasets  GET /healthz  GET /stats"
     )
     sys.stdout.flush()
 
@@ -589,6 +590,10 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         extra_args += ["--backend", args.backend]
     if args.workers is not None:
         extra_args += ["--workers", str(args.workers)]
+    if args.compact_threshold:
+        # Compaction is node-local in cluster mode: each node folds its own
+        # delta when it crosses the threshold (the cluster epoch is kept).
+        extra_args += ["--compact-threshold", str(args.compact_threshold)]
     print(
         f"repro serve: spawning {args.cluster} shard(s) x {args.replication} "
         f"replica(s) = {args.cluster * args.replication} node process(es)"
@@ -644,8 +649,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         f"{args.cluster} shards x {args.replication} replicas)"
     )
     print(
-        "endpoints: POST /query  POST /batch  POST /datasets  "
-        "GET /healthz  GET /stats"
+        "endpoints: POST /query  POST /batch  POST /objects  "
+        "POST /datasets  GET /healthz  GET /stats"
     )
     sys.stdout.flush()
     _run_server_loop(
@@ -685,6 +690,7 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
             engines=args.engines,
             max_batch=args.max_batch,
             result_cache_capacity=args.result_cache,
+            compact_threshold=args.compact_threshold,
             calibration_path=args.calibration_path,
             calibration_seed_path=args.calibration_seed,
             checkpoint_interval_seconds=args.checkpoint_interval,
@@ -722,8 +728,8 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
         f"{slice_info['feature_objects']} feature objects)"
     )
     print(
-        "endpoints: POST /query  POST /batch  POST /datasets  "
-        "GET /healthz  GET /stats  GET /heartbeat"
+        "endpoints: POST /query  POST /batch  POST /objects  "
+        "POST /datasets  GET /healthz  GET /stats  GET /heartbeat"
     )
     sys.stdout.flush()
     _run_server_loop(server, [node.shutdown])
@@ -885,6 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window-ms", type=float, default=0.0,
                        help="how long a dispatcher waits for batchmates "
                             "(0 = natural batching: group only what is queued)")
+    serve.add_argument("--compact-threshold", type=int, default=0,
+                       help="fold the write delta into the base dataset once it "
+                            "holds this many ops (0 disables auto-compaction; "
+                            "see docs/ingest.md)")
     serve.add_argument("--result-cache", type=int, default=256,
                        help="result-cache entries, LRU (0 disables the cache)")
     serve.add_argument("--calibration-path", default=None,
@@ -943,6 +953,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="warm engine-pool size of this node")
     shard_node.add_argument("--max-batch", type=int, default=8,
                             help="largest micro-batch per execute_many call")
+    shard_node.add_argument("--compact-threshold", type=int, default=0,
+                            help="node-local auto-compaction threshold in delta "
+                                 "ops (0 disables)")
     shard_node.add_argument("--result-cache", type=int, default=0,
                             help="node-local result-cache entries (default 0: "
                                  "the cluster router caches merged responses; "

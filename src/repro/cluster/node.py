@@ -227,6 +227,53 @@ class ShardNodeService:
         """Alias of :meth:`swap_datasets` (the :class:`QueryService` name)."""
         self.swap_datasets(data_objects, feature_objects)
 
+    def apply_objects(
+        self,
+        append_data: Sequence[DataObject] = (),
+        append_features: Sequence[FeatureObject] = (),
+        delete_data_oids: Sequence[str] = (),
+        delete_feature_oids: Sequence[str] = (),
+        epoch: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Absorb one router-routed write batch into this node's delta.
+
+        The router already sliced the batch for this shard (data appends
+        belonging to the slice, feature appends replicated by the Lemma-1
+        rule, deletes broadcast -- idempotent when this node holds no such
+        oid), so the inner service applies it as-is.  An *empty* batch with
+        an epoch is a pure epoch bump: every write batch mints a fresh
+        cluster epoch and is pushed to every live node so none of them
+        looks stale afterwards.  The epoch only becomes visible after the
+        update landed -- a node that failed the write keeps its old epoch
+        and is resynchronised with a full snapshot by the heartbeat loop.
+        """
+        info: Dict[str, object] = {}
+        if append_data or append_features or delete_data_oids or (
+            delete_feature_oids
+        ):
+            info = self._service.apply_objects(
+                append_data=append_data,
+                append_features=append_features,
+                delete_data_oids=delete_data_oids,
+                delete_feature_oids=delete_feature_oids,
+            )
+        if epoch is not None:
+            with self._epoch_lock:
+                self._dataset_epoch = epoch
+        info["dataset_epoch"] = self.dataset_epoch
+        return info
+
+    def compact(self) -> Dict[str, object]:
+        """Fold this node's delta into its base slice (epoch unchanged).
+
+        Node-local compaction changes no answer and no logical dataset
+        state, so the cluster epoch deliberately stays as-is; only the
+        node-local dataset version (visible in heartbeats) moves.
+        """
+        info = self._service.compact()
+        info["dataset_epoch"] = self.dataset_epoch
+        return info
+
     def dataset_info(self) -> Dict[str, object]:
         """Version and sizes of this node's current shard slice."""
         info = self._service.dataset_info()

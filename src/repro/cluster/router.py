@@ -63,6 +63,7 @@ from repro.core.engine import (
     validate_algorithm_combination,
 )
 from repro.exceptions import InvalidQueryError
+from repro.index.delta import DatasetDelta, materialize
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
 from repro.server.cache import ResultCache
@@ -70,6 +71,7 @@ from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
 from repro.server.service import ServiceConfig, resolve_request_defaults
 from repro.sharding.partition import ShardingPlan, partition_datasets
+from repro.spatial.partitioning import GridPartitioner
 
 
 @dataclass(frozen=True)
@@ -134,6 +136,7 @@ class _ClusterCounters:
     failovers: int = 0
     degraded_responses: int = 0
     resyncs: int = 0
+    write_batches: int = 0
 
 
 class ClusterRouter:
@@ -213,6 +216,10 @@ class ClusterRouter:
         self._latency = LatencyHistogram()
         self._counters = _ClusterCounters()
         self._dataset_version = 0
+        #: Monotonic write-batch counter; with the dataset version it forms
+        #: the composite cache version, so a cached response can never
+        #: outlive the write that changed its answer.
+        self._write_version = 0
         self._lock = threading.Lock()
         #: Serializes hot swaps (and resyncs) against each other.
         self._swap_lock = threading.Lock()
@@ -465,7 +472,7 @@ class ClusterRouter:
 
     def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
         """Cache probe + HTTP scatter-gather; runs inside the quiesce gate."""
-        key = parsed.canonical_key(self._dataset_version)
+        key = parsed.canonical_key((self._dataset_version, self._write_version))
         if self._cache.enabled:
             payload = self._cache.get(key)
             if payload is not None:
@@ -718,6 +725,163 @@ class ClusterRouter:
         }
 
     # ------------------------------------------------------------------ #
+    # incremental ingest (write routing; see docs/ingest.md)
+
+    def apply_objects(
+        self,
+        append_data: Sequence[DataObject] = (),
+        append_features: Sequence[FeatureObject] = (),
+        delete_data_oids: Sequence[str] = (),
+        delete_feature_oids: Sequence[str] = (),
+    ) -> Dict[str, object]:
+        """Route one incremental write batch to the whole fleet.
+
+        The batch is validated atomically against the router's full
+        snapshot first (a batch any node would reject is rejected whole,
+        before any node sees it), folded into the router's own copy (the
+        resync source of truth), then routed by the same rules
+        :func:`~repro.sharding.partition.partition_datasets` applies at
+        build time: a data append goes to the nodes of the one shard whose
+        cell contains it, a feature append is replicated to every shard
+        within ``max_radius`` (all shards when unbounded), deletes are
+        broadcast (node deltas are idempotent).  Every write batch mints a
+        fresh cluster epoch and is pushed to **every** non-dead node --
+        nodes the batch routes nothing to get a pure epoch bump -- so the
+        whole fleet moves epochs together.  A node the push cannot reach
+        keeps its old epoch, drops out of routing, and is resynchronised
+        with a full snapshot by the heartbeat loop, exactly like a node
+        that slept through a hot swap.
+
+        Unlike single-process delta writes (which never block readers),
+        a cluster write briefly quiesces the scatter gate: per-node applies
+        are not atomic across the fleet, and routing reads concurrently
+        would let one response mix pre- and post-write shard answers.  The
+        node-local deltas still make each push tiny next to a snapshot
+        push, which is where the incremental win lives.
+
+        Returns:
+            The applied counts plus the new epoch and write version.
+
+        Raises:
+            DatasetUpdateError: for an invalid batch (no node is touched,
+                serving is not paused).
+            RuntimeError: when the router is not started or shut down.
+        """
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("the query service is not started")
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+        append_data = list(append_data)
+        append_features = list(append_features)
+        delete_data_oids = list(delete_data_oids)
+        delete_feature_oids = list(delete_feature_oids)
+        with self._swap_lock:
+            # Validate before quiescing: a rejected batch must not pause
+            # serving.  The throwaway delta applies the exact same
+            # deletes-first / duplicate-oid / extent rules a node would.
+            probe = DatasetDelta()
+            counts = probe.apply(
+                append_data=append_data,
+                append_features=append_features,
+                delete_data_oids=delete_data_oids,
+                delete_feature_oids=delete_feature_oids,
+                base_data_oids={obj.oid for obj in self._current_data},
+                base_feature_oids={obj.oid for obj in self._current_features},
+                extent=self._plan.extent,
+            )
+            counts.pop("delta_version", None)
+            with self._gate:
+                self._paused = True
+                while self._inflight:
+                    self._gate.wait()
+            try:
+                self._current_data, self._current_features = materialize(
+                    self._current_data, self._current_features,
+                    probe.snapshot(),
+                )
+                self._write_version += 1
+                epoch = f"v{self._dataset_version}w{self._write_version}"
+                sub_updates = self._route_update(
+                    append_data, append_features,
+                    delete_data_oids, delete_feature_oids,
+                )
+                for url in self._membership.urls():
+                    status = self._membership.status_of(url)
+                    if status.state == "dead":
+                        continue
+                    self._push_objects(
+                        url, sub_updates[status.shard_index], epoch
+                    )
+                self._epoch = epoch
+                with self._lock:
+                    self._counters.write_batches += 1
+            finally:
+                with self._gate:
+                    self._paused = False
+                    self._gate.notify_all()
+        return {
+            **counts,
+            "dataset_epoch": epoch,
+            "write_version": self._write_version,
+        }
+
+    def _route_update(
+        self,
+        append_data: Sequence[DataObject],
+        append_features: Sequence[FeatureObject],
+        delete_data_oids: Sequence[str],
+        delete_feature_oids: Sequence[str],
+    ) -> List[Dict[str, object]]:
+        """Slice one validated batch into per-shard sub-updates."""
+        num_shards = self.cluster.shards
+        grid = self._plan.grid
+        sub_data: List[List[DataObject]] = [[] for _ in range(num_shards)]
+        for obj in append_data:
+            sub_data[grid.locate(obj.x, obj.y) - 1].append(obj)
+        sub_features: List[List[FeatureObject]] = [
+            [] for _ in range(num_shards)
+        ]
+        if append_features:
+            if self.cluster.max_radius is None or num_shards == 1:
+                for shard_id in range(num_shards):
+                    sub_features[shard_id] = list(append_features)
+            else:
+                partitioner = GridPartitioner(grid, self.cluster.max_radius)
+                for feature in append_features:
+                    for cell_id in partitioner.assign_feature_object(feature):
+                        sub_features[cell_id - 1].append(feature)
+        return [
+            {
+                "append_data": sub_data[shard_id],
+                "append_features": sub_features[shard_id],
+                "delete_data_oids": list(delete_data_oids),
+                "delete_feature_oids": list(delete_feature_oids),
+            }
+            for shard_id in range(num_shards)
+        ]
+
+    def _push_objects(
+        self, url: str, sub_update: Mapping[str, object], epoch: str
+    ) -> bool:
+        """POST one shard's slice of a write batch to one node."""
+        payload = _objects_payload(sub_update, epoch)
+        try:
+            post_json(
+                f"{url}/objects", payload, timeout=self.cluster.node_deadline
+            )
+        except NodeTransportError:
+            self._membership.mark_failure(url)
+            return False
+        except InvalidQueryError:
+            # A node that rejects the sub-update (4xx) diverged from the
+            # router's snapshot; its stale epoch keeps it out of routing
+            # until the heartbeat loop resyncs it with a full snapshot.
+            return False
+        self._membership.mark_success(url, dataset_epoch=epoch)
+        return True
+
+    # ------------------------------------------------------------------ #
     # introspection
 
     @property
@@ -772,9 +936,50 @@ class ClusterRouter:
                     self._defaults.grid_size
                 ),
             },
+            "ingest": {
+                "write_batches": counters.write_batches,
+                "write_version": self._write_version,
+            },
             "dataset": {**self.dataset_info(), "swaps": counters.swaps},
             "defaults": vars(self._defaults),
         }
+
+
+def _objects_payload(
+    sub_update: Mapping[str, object], epoch: str
+) -> Dict[str, object]:
+    """The ``POST /objects`` body for one shard's slice of a write batch.
+
+    An all-empty sub-update still produces a valid body -- just the epoch
+    tag -- which the node HTTP handler accepts as a pure epoch bump.
+    """
+    payload: Dict[str, object] = {"epoch": epoch}
+    append: Dict[str, object] = {}
+    if sub_update["append_data"]:
+        append["data_objects"] = [
+            {"oid": obj.oid, "x": obj.x, "y": obj.y}
+            for obj in sub_update["append_data"]
+        ]
+    if sub_update["append_features"]:
+        append["feature_objects"] = [
+            {
+                "oid": obj.oid,
+                "x": obj.x,
+                "y": obj.y,
+                "keywords": sorted(obj.keywords),
+            }
+            for obj in sub_update["append_features"]
+        ]
+    if append:
+        payload["append"] = append
+    delete: Dict[str, object] = {}
+    if sub_update["delete_data_oids"]:
+        delete["data_oids"] = list(sub_update["delete_data_oids"])
+    if sub_update["delete_feature_oids"]:
+        delete["feature_oids"] = list(sub_update["delete_feature_oids"])
+    if delete:
+        payload["delete"] = delete
+    return payload
 
 
 def _dataset_payload(

@@ -31,7 +31,8 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from itertools import chain
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.centralized import CentralizedSPQ, dataset_extent
 from repro.core.jobs import ESPQLenJob, ESPQScoJob, PSPQJob, _SPQJobBase
@@ -43,6 +44,13 @@ from repro.exceptions import (
 from repro.execution import ExecutionBackend, create_backend
 from repro.index.cache import IndexCache
 from repro.index.dataset_index import DatasetIndex
+from repro.index.delta import (
+    DatasetDelta,
+    DeltaSnapshot,
+    delta_data_records,
+    delta_feature_records,
+    materialize,
+)
 from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
 from repro.mapreduce.cluster import SimulatedCluster, paper_cluster
 from repro.mapreduce.costmodel import CostModel, CostParameters
@@ -194,6 +202,7 @@ class SPQEngine:
         extent: Optional[BoundingBox] = None,
         index_cache: Optional[IndexCache] = None,
         planner: Optional[QueryPlanner] = None,
+        delta: Optional[DatasetDelta] = None,
     ) -> None:
         """Wire an engine over in-memory datasets.
 
@@ -209,6 +218,11 @@ class SPQEngine:
             planner: A (possibly shared) :class:`QueryPlanner`.  Shared the
                 same way, so every pooled engine's executed queries feed one
                 calibration state.
+            delta: A (possibly shared) :class:`DatasetDelta` -- the
+                append/delete overlay of :meth:`apply_updates`.  The query
+                service shares one across its pool so a write absorbed via
+                any engine is visible to all; a private one is created
+                otherwise.
         """
         self.data_objects = list(data_objects)
         self.feature_objects = list(feature_objects)
@@ -227,6 +241,11 @@ class SPQEngine:
         )
         self._oid_index: Optional[Dict[str, DataObject]] = None
         self._oid_index_source: Optional[List[DataObject]] = None
+        self._delta = delta if delta is not None else DatasetDelta()
+        #: Lazily built base oid sets for append validation, guarded by
+        #: list identity like the oid lookup.
+        self._base_oids: Optional[Tuple[Set[str], Set[str]]] = None
+        self._base_oids_source: Optional[List[DataObject]] = None
         self._backend: Optional[ExecutionBackend] = None
         self._backend_lock = threading.RLock()
         #: In-flight query count per backend instance; a backend retired by
@@ -465,6 +484,12 @@ class SPQEngine:
         self._index_cache.invalidate()
         self._oid_index = None
         self._oid_index_source = None
+        self._base_oids = None
+        self._base_oids_source = None
+        # A full snapshot replacement supersedes any pending delta: its
+        # appends/tombstones were relative to the old base.  The reset
+        # still bumps the delta version, keeping cache keys fresh.
+        self._delta.reset()
         if not self._explicit_extent:
             self._extent = None
 
@@ -502,6 +527,70 @@ class SPQEngine:
             self._extent = extent
             self._explicit_extent = True
         self.invalidate_indexes()
+
+    # ------------------------------------------------------------------ #
+    # incremental updates (delta overlay; see docs/ingest.md)
+
+    @property
+    def delta(self) -> DatasetDelta:
+        """The engine's append/delete overlay (shared across a service pool)."""
+        return self._delta
+
+    def apply_updates(
+        self,
+        append_data: Sequence[DataObject] = (),
+        append_features: Sequence[FeatureObject] = (),
+        delete_data_oids: Iterable[str] = (),
+        delete_feature_oids: Iterable[str] = (),
+    ) -> Dict[str, int]:
+        """Absorb an incremental write batch into the delta overlay.
+
+        No index is touched: the base :class:`DatasetIndex` snapshots stay
+        valid (and cached), queries merge the delta in at execution time,
+        and a later compaction (or :meth:`set_datasets`) folds the delta
+        back into a fresh base.  Appends must lie within the served
+        :attr:`extent` -- the query grids are pinned to it, and a clamped
+        ``locate`` would silently corrupt the Lemma-1 duplication
+        geometry.  Deletes are idempotent.
+
+        Returns:
+            The applied counts (``data_appended``, ``features_appended``,
+            ``data_deleted``, ``features_deleted``, ``delta_version``).
+
+        Raises:
+            DatasetUpdateError: for duplicate-oid or out-of-extent appends
+                (the whole batch is rejected; no partial state).
+        """
+        base_data_oids, base_feature_oids = self._base_oid_sets()
+        return self._delta.apply(
+            append_data=list(append_data),
+            append_features=list(append_features),
+            delete_data_oids=delete_data_oids,
+            delete_feature_oids=delete_feature_oids,
+            base_data_oids=base_data_oids,
+            base_feature_oids=base_feature_oids,
+            extent=self.extent,
+        )
+
+    def materialize_datasets(
+        self, snapshot: Optional[DeltaSnapshot] = None
+    ) -> "Tuple[List[DataObject], List[FeatureObject]]":
+        """Base+delta folded into plain lists, in bulk-swap storage order.
+
+        This is what compaction swaps in: surviving base objects keep
+        their relative order, appended objects follow in arrival order.
+        """
+        snap = snapshot if snapshot is not None else self._delta.snapshot()
+        return materialize(self.data_objects, self.feature_objects, snap)
+
+    def _base_oid_sets(self) -> "Tuple[Set[str], Set[str]]":
+        if self._base_oids is None or self._base_oids_source is not self.data_objects:
+            self._base_oids = (
+                {obj.oid for obj in self.data_objects},
+                {obj.oid for obj in self.feature_objects},
+            )
+            self._base_oids_source = self.data_objects
+        return self._base_oids
 
     def get_index(self, grid_size: Optional[int] = None) -> DatasetIndex:
         """A :class:`DatasetIndex` for the given grid size (cached)."""
@@ -550,8 +639,11 @@ class SPQEngine:
                 the planner is disabled.
         """
         self.validate_combination(algorithm, score_mode)
+        snapshot = self._delta.snapshot()
+        if snapshot.is_empty:
+            snapshot = None
         if algorithm == "centralized":
-            return self._execute_centralized(query, score_mode)
+            return self._execute_centralized(query, score_mode, snapshot=snapshot)
         if algorithm == AUTO_ALGORITHM:
             # Planning needs the index statistics, so auto always runs on
             # the index-backed path (identical results either way).
@@ -562,11 +654,17 @@ class SPQEngine:
                     algorithm=AUTO_ALGORITHM,
                     grid_size=grid_size or self.config.grid_size,
                     score_mode=score_mode,
-                )
+                ),
+                delta_snapshot=snapshot,
             )
         grid = self.build_grid(grid_size)
         job = self._make_job(algorithm, query, grid, score_mode)
-        return self._run_job(job, grid, query, self._input_records())
+        # With a live delta the raw map phase simply streams the
+        # materialized record order (base minus tombstones, then appends)
+        # -- literally the bulk-swap input, so identity is by construction.
+        return self._run_job(
+            job, grid, query, self._input_records(snapshot), delta_snapshot=snapshot
+        )
 
     def execute_many(
         self,
@@ -574,6 +672,7 @@ class SPQEngine:
         algorithm: str = "espq-sco",
         grid_size: Optional[int] = None,
         score_mode: str = "range",
+        delta_snapshot: Optional[DeltaSnapshot] = None,
     ) -> List[QueryResult]:
         """Run a batch of queries, sharing index builds across them.
 
@@ -611,9 +710,21 @@ class SPQEngine:
         for item in plan:
             self.validate_combination(item.algorithm, item.score_mode)
 
+        # One delta snapshot pinned for the whole batch: every query of
+        # the batch sees the same dataset state even if writes land
+        # concurrently (callers that pinned earlier pass their own).
+        snapshot = (
+            delta_snapshot
+            if delta_snapshot is not None
+            else self._delta.snapshot()
+        )
+        if snapshot.is_empty:
+            snapshot = None
         results: List[Optional[QueryResult]] = [None] * len(plan)
         for item in plan:
-            results[item.position] = self._execute_planned(item)
+            results[item.position] = self._execute_planned(
+                item, delta_snapshot=snapshot
+            )
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------ #
@@ -636,16 +747,34 @@ class SPQEngine:
         )
 
     def _execute_centralized(
-        self, query: SpatialPreferenceQuery, score_mode: str
+        self,
+        query: SpatialPreferenceQuery,
+        score_mode: str,
+        snapshot: Optional[DeltaSnapshot] = None,
     ) -> QueryResult:
-        oracle = CentralizedSPQ(self.data_objects, self.feature_objects)
+        if snapshot is not None:
+            data, features = materialize(
+                self.data_objects, self.feature_objects, snapshot
+            )
+        else:
+            data, features = self.data_objects, self.feature_objects
+        oracle = CentralizedSPQ(data, features)
         if score_mode == "range":
             return oracle.evaluate(query)
         return oracle.evaluate_exhaustive(query, mode=score_mode)
 
-    def _execute_planned(self, item: PlannedQuery) -> QueryResult:
+    def _execute_planned(
+        self,
+        item: PlannedQuery,
+        delta_snapshot: Optional[DeltaSnapshot] = None,
+    ) -> QueryResult:
+        snapshot = delta_snapshot
+        if snapshot is not None and snapshot.is_empty:
+            snapshot = None
         if item.algorithm == "centralized":
-            return self._execute_centralized(item.query, item.score_mode)
+            return self._execute_centralized(
+                item.query, item.score_mode, snapshot=snapshot
+            )
         index, cache_hit = self._get_index(item.grid_size)
         planner = self._active_planner()
         statistics = None
@@ -658,10 +787,27 @@ class SPQEngine:
             # statistics are guaranteed here.
             decision = planner.decide(statistics)
             algorithm = decision.algorithm
-        prepared = index.prepare(
-            item.query,
-            candidates=statistics.candidate_positions if statistics else None,
-        )
+        candidates = statistics.candidate_positions if statistics else None
+        extra_pruned = 0
+        if snapshot is not None and snapshot.deleted_feature_oids:
+            # Feature tombstones: drop the deleted candidates *before*
+            # prepare, so the surviving records keep their relative
+            # storage order -- the same stream a bulk swap of the
+            # shrunken feature set would produce.
+            positions = index.feature_positions_by_oid()
+            deleted_positions = {
+                positions[oid]
+                for oid in snapshot.deleted_feature_oids
+                if oid in positions
+            }
+            if candidates is None:
+                candidates = index.candidate_positions(item.query.keywords)
+            candidates = [
+                position
+                for position in candidates
+                if position not in deleted_positions
+            ]
+        prepared = index.prepare(item.query, candidates=candidates)
         job = self._make_job(algorithm, item.query, index.grid, item.score_mode)
         job.share_feature_sizes(index.feature_sizes)
         planner_stats = None
@@ -671,13 +817,34 @@ class SPQEngine:
                 "planner_estimates": dict(decision.estimates),
                 "planner_calibrated": decision.calibrated,
             }
+        records: Iterable = prepared.records
+        preloaded = index.data_shuffle(job)
+        if snapshot is not None:
+            # Delta appends ride the live record stream: sequence rebasing
+            # places them after the base entries of the same sort key --
+            # exactly the storage position a bulk swap would give them --
+            # and data/feature sort keys never collide, so the stream
+            # order between the two groups is immaterial.
+            appended_features, delta_pruned = delta_feature_records(
+                snapshot, item.query, index.grid
+            )
+            extra_pruned = delta_pruned
+            records = chain(
+                delta_data_records(snapshot, index.grid),
+                prepared.records,
+                appended_features,
+            )
+            if snapshot.deleted_data_oids:
+                preloaded = index.filtered_data_shuffle(
+                    job, snapshot.deleted_data_oids
+                )
         result = self._run_job(
             job,
             index.grid,
             item.query,
-            prepared.records,
-            preloaded=index.data_shuffle(job),
-            pruned_by_index=prepared.num_pruned,
+            records,
+            preloaded=preloaded,
+            pruned_by_index=prepared.num_pruned + extra_pruned,
             index_stats={
                 "index_cache_hit": cache_hit,
                 "radius_cache_hit": prepared.radius_cache_hit,
@@ -685,6 +852,7 @@ class SPQEngine:
                 "index_build_seconds": index.stats.build_seconds,
             },
             planner_stats=planner_stats,
+            delta_snapshot=snapshot,
         )
         if planner is not None and statistics is not None:
             # Calibration: every executed distributed query refines the
@@ -720,6 +888,7 @@ class SPQEngine:
         pruned_by_index: int = 0,
         index_stats: Optional[Dict[str, object]] = None,
         planner_stats: Optional[Dict[str, object]] = None,
+        delta_snapshot: Optional[DeltaSnapshot] = None,
     ) -> QueryResult:
         backend = self._checkout_backend()
         try:
@@ -735,9 +904,9 @@ class SPQEngine:
             # statistics comparable across the two execution paths.
             job_result.counters.increment(_SPQ_GROUP, _FEATURES_PRUNED, pruned_by_index)
 
-        entries = self._merge(job_result, query)
+        entries = self._merge(job_result, query, snapshot=delta_snapshot)
         if self.config.pad_with_zero_scores and len(entries) < query.k:
-            entries = self._pad(entries, query.k)
+            entries = self._pad(entries, query.k, snapshot=delta_snapshot)
 
         cost_model = CostModel(self.config.cluster, self.config.cost_parameters)
         breakdown = cost_model.estimate(job_result)
@@ -767,10 +936,29 @@ class SPQEngine:
             stats.update(planner_stats)
         return QueryResult(entries, stats=stats)
 
-    def _input_records(self) -> Iterable:
-        """The horizontally partitioned input: all objects, in storage order."""
-        yield from self.data_objects
-        yield from self.feature_objects
+    def _input_records(
+        self, snapshot: Optional[DeltaSnapshot] = None
+    ) -> Iterable:
+        """The horizontally partitioned input: all objects, in storage order.
+
+        With a live delta snapshot, this is the *materialized* storage
+        order -- surviving base objects, then delta appends -- i.e. the
+        exact input stream a bulk swap of the final state would produce.
+        """
+        if snapshot is None:
+            yield from self.data_objects
+            yield from self.feature_objects
+            return
+        deleted_data = snapshot.deleted_data_oids
+        deleted_features = snapshot.deleted_feature_oids
+        for obj in self.data_objects:
+            if obj.oid not in deleted_data:
+                yield obj
+        yield from snapshot.data
+        for obj in self.feature_objects:
+            if obj.oid not in deleted_features:
+                yield obj
+        yield from snapshot.features
 
     def _oid_lookup(self) -> Dict[str, DataObject]:
         """Cached oid -> data object mapping (reset by :meth:`invalidate_indexes`).
@@ -787,12 +975,29 @@ class SPQEngine:
             self._oid_index_source = self.data_objects
         return self._oid_index
 
-    def _merge(self, job_result: JobResult, query: SpatialPreferenceQuery) -> List[ScoredObject]:
+    def _merge(
+        self,
+        job_result: JobResult,
+        query: SpatialPreferenceQuery,
+        snapshot: Optional[DeltaSnapshot] = None,
+    ) -> List[ScoredObject]:
         """Merge per-cell outputs ``(cell_id, object_id, score)`` into the global top-k."""
         index = self._oid_lookup()
+        delta_index: Dict[str, DataObject] = (
+            {obj.oid: obj for obj in snapshot.data} if snapshot is not None else {}
+        )
+        deleted = snapshot.deleted_data_oids if snapshot is not None else frozenset()
         by_cell: Dict[int, List[ScoredObject]] = {}
         for cell_id, oid, score in job_result.outputs:
-            obj = index.get(oid)
+            if oid in deleted:
+                # Tombstoned oids were filtered out of the reduce input;
+                # one reappearing means the filter was bypassed.
+                raise ResultIntegrityError(
+                    f"job {job_result.job_name!r} reported deleted data object "
+                    f"{oid!r} from cell {cell_id}; the delta tombstone filter "
+                    "was bypassed"
+                )
+            obj = delta_index.get(oid) or index.get(oid)
             if obj is None:
                 raise ResultIntegrityError(
                     f"job {job_result.job_name!r} reported unknown data object "
@@ -802,12 +1007,21 @@ class SPQEngine:
             by_cell.setdefault(cell_id, []).append(ScoredObject(obj, score))
         return merge_top_k(by_cell.values(), query.k)
 
-    def _pad(self, entries: List[ScoredObject], k: int) -> List[ScoredObject]:
+    def _pad(
+        self,
+        entries: List[ScoredObject],
+        k: int,
+        snapshot: Optional[DeltaSnapshot] = None,
+    ) -> List[ScoredObject]:
         present = {entry.obj.oid for entry in entries}
         padded = list(entries)
-        for obj in self.data_objects:
+        deleted = snapshot.deleted_data_oids if snapshot is not None else frozenset()
+        appended = snapshot.data if snapshot is not None else ()
+        # Pad in live storage order (base minus tombstones, then appends)
+        # so padding picks the same objects a bulk-swapped engine would.
+        for obj in chain(self.data_objects, appended):
             if len(padded) >= k:
                 break
-            if obj.oid not in present:
+            if obj.oid not in present and obj.oid not in deleted:
                 padded.append(ScoredObject(obj, 0.0))
         return padded

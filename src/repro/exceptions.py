@@ -55,6 +55,15 @@ class CalibrationStateError(ReproError):
     snapshot rather than refusing to start."""
 
 
+class DatasetUpdateError(ReproError):
+    """An incremental dataset update (append/delete) is invalid.
+
+    Raised for appends that duplicate a live oid, appends outside the
+    served extent (the grid is pinned to it; clamped ``locate`` calls
+    would silently break the Lemma-1 duplication geometry), and
+    structurally empty or malformed update batches."""
+
+
 class ResultIntegrityError(ReproError):
     """A job produced output referencing an object unknown to the engine.
 

@@ -11,15 +11,21 @@ Public API:
   -- per-query overrides and execution ordering for ``SPQEngine.execute_many``.
 * :class:`~repro.index.records.PreAssignedData` / ``PreAssignedFeature`` --
   the pre-partitioned record types the SPQ jobs consume directly.
+* :class:`~repro.index.delta.DatasetDelta` / ``DeltaSnapshot`` -- the
+  copy-on-write append/delete overlay queries merge with the base index
+  (``docs/ingest.md``).
 """
 
 from repro.index.cache import CacheStats, IndexCache, IndexCacheStats
 from repro.index.dataset_index import DatasetIndex, IndexBuildStats, PreparedQuery
+from repro.index.delta import DatasetDelta, DeltaSnapshot
 from repro.index.planner import BatchQuery, PlannedQuery, plan_batch
 from repro.index.records import PreAssignedData, PreAssignedFeature
 
 __all__ = [
+    "DatasetDelta",
     "DatasetIndex",
+    "DeltaSnapshot",
     "IndexBuildStats",
     "PreparedQuery",
     "IndexCache",

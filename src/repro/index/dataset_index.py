@@ -132,6 +132,11 @@ class DatasetIndex:
         self._feature_cells: Dict[float, Dict[int, Tuple[int, ...]]] = {}
         #: job class -> preloaded data-object shuffle snapshot.
         self._data_shuffles: Dict[type, PreloadedShuffle] = {}
+        #: (job class, tombstoned data oids) -> filtered shuffle snapshot
+        #: (delta-mode queries with data deletes; see filtered_data_shuffle).
+        self._filtered_shuffles: Dict[Tuple[type, frozenset], PreloadedShuffle] = {}
+        #: feature oid -> storage position, built lazily (delta tombstones).
+        self._feature_positions: Optional[Dict[str, int]] = None
         #: Columnar data plane over this snapshot, shared by every job class
         #: (a reduce block's value stream is DataObject instances in all SPQ
         #: jobs): the per-row cell assignment (lazy CSR), lazily built
@@ -249,7 +254,12 @@ class DatasetIndex:
         """
         cache = self._feature_cells.get(radius)
         if cache is None:
-            cache = self._feature_cells[radius] = {}
+            # setdefault, not assignment: two pooled engines hitting a new
+            # radius concurrently must converge on ONE cache dict.  With a
+            # plain `self._feature_cells[radius] = {}` each installs its own
+            # and the loser fills an orphaned copy -- its Lemma-1 work is
+            # thrown away and `radius_cache_hit` stays cold for that radius.
+            cache = self._feature_cells.setdefault(radius, {})
             self.stats.radii_cached = self.cached_radii
         if positions is None:
             positions = range(self.num_features)
@@ -296,6 +306,60 @@ class DatasetIndex:
             cached.shared_provider = self.shared_plane_ref
             self._data_shuffles[key] = cached
         return cached
+
+    def filtered_data_shuffle(
+        self, job: MapReduceJob, excluded_oids: frozenset
+    ) -> PreloadedShuffle:
+        """Data shuffle with the given (tombstoned) data oids filtered out.
+
+        The delta layer (docs/ingest.md) serves deletes by excluding the
+        tombstoned data objects from the preloaded shuffle instead of
+        post-filtering reduce output: the surviving records keep their
+        relative storage order, so per-cell reduce streams are exactly
+        those a bulk swap of the shrunken dataset would produce -- the
+        bit-for-bit identity contract, score ties included.
+
+        Unlike :meth:`data_shuffle`, no columnar block or shared-memory
+        providers are attached: the cached reduce blocks cover the
+        *unfiltered* snapshot.  Columnar-mode reduces fall back to the
+        per-entry value stream, which every SPQ job consumes with
+        identical results.  Snapshots are cached per (job class,
+        tombstone set) -- tombstone sets only grow between compactions,
+        so a handful of entries covers a serving window.
+        """
+        key = (type(job), excluded_oids)
+        cached = self._filtered_shuffles.get(key)
+        if cached is None:
+            runner = LocalJobRunner(num_reducers=self.grid.num_cells)
+            records = [
+                record
+                for record in self._data_records
+                if record.obj.oid not in excluded_oids
+            ]
+            cached = runner.build_preloaded_shuffle(job, records)
+            if len(self._filtered_shuffles) >= 32:
+                # Drop the oldest snapshots rather than grow without bound
+                # across many distinct tombstone sets (compaction resets
+                # the set, so churn here is already rare).
+                self._filtered_shuffles.clear()
+            self._filtered_shuffles[key] = cached
+        return cached
+
+    def feature_positions_by_oid(self) -> Dict[str, int]:
+        """Feature oid -> storage position (built lazily, then cached).
+
+        Used by the delta layer to translate feature tombstones into the
+        candidate positions to drop before :meth:`prepare`.  The benign
+        build race between pooled engines produces equal dicts and the
+        slot write is atomic, same as :meth:`cell_columns`.
+        """
+        positions = self._feature_positions
+        if positions is None:
+            positions = self._feature_positions = {
+                feature.oid: position
+                for position, feature in enumerate(self._feature_objects)
+            }
+        return positions
 
     # ------------------------------------------------------------------ #
     # columnar data plane

@@ -62,14 +62,19 @@ class ResultCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return copy_payload(entry)
+        # Stored entries are immutable once cached (put stores a private
+        # copy, invalidate only drops references), so the deep copy can run
+        # outside the critical section instead of serializing every serving
+        # thread on the mutex for the duration of a large-k payload copy.
+        return copy_payload(entry)
 
     def put(self, key: Hashable, payload: Mapping[str, object]) -> None:
         """Store a copy of ``payload`` under ``key`` (no-op when disabled)."""
         if not self.enabled:
             return
+        entry = copy_payload(payload)
         with self._lock:
-            self._entries[key] = copy_payload(payload)
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

@@ -10,6 +10,12 @@ Endpoints (see ``docs/service.md`` for the full protocol reference):
   invalidates result caches by dataset version.  Body: ``{"path": ...}``
   (a dataset file the server loads) or inline ``{"data_objects": [...],
   "feature_objects": [...]}`` object lists.
+* ``POST /objects``  -- incremental append/delete of data and feature
+  objects, absorbed by the delta overlay without rebuilding or swapping
+  the base snapshot (``docs/ingest.md``).  Body: ``{"append":
+  {"data_objects": [...], "feature_objects": [...]}, "delete":
+  {"data_oids": [...], "feature_oids": [...]}}``; both sections optional,
+  deletes are applied before appends.
 * ``GET /healthz``   -- liveness: ``{"status": "ok"}`` plus uptime.
 * ``GET /stats``     -- the service's full counter tree (requests, latency
   histograms, batching, result/index caches, planner persistence and --
@@ -157,19 +163,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, error_payload(
                     "this server is not a cluster shard node"
                 ))
-        elif self.path in ("/query", "/batch", "/datasets"):
+        elif self.path in ("/query", "/batch", "/datasets", "/objects"):
             self._send_json(405, error_payload(f"use POST for {self.path}"))
         else:
             self._send_json(404, error_payload(f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Serve ``/query``, ``/batch`` and ``/datasets``."""
+        """Serve ``/query``, ``/batch``, ``/datasets`` and ``/objects``."""
         if self.path == "/query":
             self._handle_query()
         elif self.path == "/batch":
             self._handle_batch()
         elif self.path == "/datasets":
             self._handle_datasets()
+        elif self.path == "/objects":
+            self._handle_objects()
         elif self.path in ("/healthz", "/stats", "/heartbeat"):
             self._send_json(405, error_payload(f"use GET for {self.path}"))
         else:
@@ -259,6 +267,64 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
             return
         self._send_json(200, {"status": "ok", "dataset": info})
+
+    def _handle_objects(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            spec = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, error_payload(f"invalid JSON: {exc}"))
+            return
+        epoch: Optional[str] = None
+        if (
+            getattr(self.server.service, "accepts_dataset_epoch", False)
+            and isinstance(spec, Mapping)
+            and "epoch" in spec
+        ):
+            # Same duck-typing as POST /datasets: the cluster router tags
+            # the write batches it pushes to shard nodes with an epoch.
+            spec = dict(spec)
+            epoch = spec.pop("epoch")
+            if not isinstance(epoch, str) or not epoch:
+                self._send_json(400, error_payload(
+                    f"'epoch' must be a non-empty string, got {epoch!r}"
+                ))
+                return
+        try:
+            append_data, append_features, delete_data, delete_features = (
+                # An epoch-tagged empty body is a legal epoch bump: the
+                # cluster router pushes every write batch to every live
+                # node, including nodes the batch routed nothing to.
+                _parse_objects_spec(spec, allow_empty=epoch is not None)
+            )
+        except ValueError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        try:
+            if epoch is not None:
+                info = self.server.service.apply_objects(
+                    append_data=append_data,
+                    append_features=append_features,
+                    delete_data_oids=delete_data,
+                    delete_feature_oids=delete_features,
+                    epoch=epoch,
+                )
+            else:
+                info = self.server.service.apply_objects(
+                    append_data=append_data,
+                    append_features=append_features,
+                    delete_data_oids=delete_data,
+                    delete_feature_oids=delete_features,
+                )
+        except ReproError as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
+            return
+        self._send_json(200, {"status": "ok", "applied": info})
 
     @staticmethod
     def _parse_batch_body(body: bytes) -> List[Mapping[str, object]]:
@@ -395,6 +461,88 @@ def _parse_dataset_spec(spec: object) -> Tuple[List, List]:
     if not data:
         raise ValueError("dataset contains no data objects")
     return data, features
+
+
+def _parse_objects_spec(
+    spec: object, allow_empty: bool = False
+) -> Tuple[List, List, List, List]:
+    """Resolve a ``POST /objects`` body into append lists and delete oids.
+
+    Body shape (both sections optional, but not both absent unless
+    ``allow_empty`` -- an epoch-tagged router push may carry no work)::
+
+        {"append": {"data_objects": [{"oid", "x", "y"}, ...],
+                    "feature_objects": [{"oid", "x", "y", "keywords"}, ...]},
+         "delete": {"data_oids": ["d1", ...], "feature_oids": ["f1", ...]}}
+
+    Returns:
+        ``(append_data, append_features, delete_data_oids,
+        delete_feature_oids)``.
+
+    Raises:
+        ValueError: for a structurally invalid body or an empty update.
+    """
+    from repro.model.objects import DataObject, FeatureObject
+
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"body must be a JSON object, got {type(spec).__name__}")
+    unknown = set(spec) - {"append", "delete"}
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)}; expected 'append' and/or "
+            "'delete'"
+        )
+    append = spec.get("append", {})
+    delete = spec.get("delete", {})
+    if not isinstance(append, Mapping) or not isinstance(delete, Mapping):
+        raise ValueError("'append' and 'delete' must be JSON objects")
+    unknown = set(append) - {"data_objects", "feature_objects"}
+    if unknown:
+        raise ValueError(
+            f"unknown append field(s) {sorted(unknown)}; expected "
+            "'data_objects' and/or 'feature_objects'"
+        )
+    unknown = set(delete) - {"data_oids", "feature_oids"}
+    if unknown:
+        raise ValueError(
+            f"unknown delete field(s) {sorted(unknown)}; expected "
+            "'data_oids' and/or 'feature_oids'"
+        )
+    raw_data = append.get("data_objects", [])
+    raw_features = append.get("feature_objects", [])
+    raw_data_oids = delete.get("data_oids", [])
+    raw_feature_oids = delete.get("feature_oids", [])
+    for name, value in (
+        ("append.data_objects", raw_data),
+        ("append.feature_objects", raw_features),
+        ("delete.data_oids", raw_data_oids),
+        ("delete.feature_oids", raw_feature_oids),
+    ):
+        if not isinstance(value, list):
+            raise ValueError(f"'{name}' must be a list")
+    try:
+        append_data = [
+            DataObject(oid=str(obj["oid"]), x=float(obj["x"]), y=float(obj["y"]))
+            for obj in raw_data
+        ]
+        append_features = [
+            FeatureObject(
+                oid=str(obj["oid"]),
+                x=float(obj["x"]),
+                y=float(obj["y"]),
+                keywords=frozenset(str(word) for word in obj.get("keywords", [])),
+            )
+            for obj in raw_features
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed inline object: {exc}") from exc
+    delete_data = [str(oid) for oid in raw_data_oids]
+    delete_features = [str(oid) for oid in raw_feature_oids]
+    if not allow_empty and not (
+        append_data or append_features or delete_data or delete_features
+    ):
+        raise ValueError("empty update: nothing to append or delete")
+    return append_data, append_features, delete_data, delete_features
 
 
 def make_server(

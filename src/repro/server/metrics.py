@@ -17,6 +17,7 @@ good enough to spot a p99 regression, cheap enough to compute inside
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Dict, List, Optional
 
 #: Bucket upper bounds in seconds: 0.25 ms, 0.5 ms, 1 ms, ... ~16.4 s.
@@ -52,10 +53,11 @@ class LatencyHistogram:
 
     @staticmethod
     def _bucket_index(seconds: float) -> int:
-        for index, bound in enumerate(BUCKET_BOUNDS_SECONDS):
-            if seconds <= bound:
-                return index
-        return len(BUCKET_BOUNDS_SECONDS)
+        # First bound with seconds <= bound; bisect_left returns exactly
+        # that index (or the overflow slot past the last bound), so the
+        # bucket assignment is identical to a linear <= scan, boundary
+        # values included.
+        return bisect_left(BUCKET_BOUNDS_SECONDS, seconds)
 
     @property
     def count(self) -> int:

@@ -35,10 +35,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.core.centralized import dataset_extent
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig, SPQEngine
 from repro.datagen.queries import radius_from_cell_fraction
 from repro.model.objects import DataObject, FeatureObject
 from repro.index.cache import IndexCache
+from repro.index.delta import DatasetDelta
 from repro.planner.core import PlannerConfig, QueryPlanner, resolve_planner_mode
 from repro.planner.persistence import save_calibration, try_restore_calibration
 from repro.server.batching import MicroBatcher, PendingRequest
@@ -103,6 +105,11 @@ class ServiceConfig:
             while serving (0 = save only on shutdown).
         request_timeout_seconds: How long one submitted request may wait for
             its micro-batch before :class:`TimeoutError`.
+        compact_threshold: Once the delta overlay holds this many live
+            operations (appends + tombstones), a background compaction
+            folds it into a fresh base snapshot.  0 (the default) disables
+            auto-compaction; :meth:`QueryService.compact` stays available
+            either way.
         default_k / default_radius / default_radius_fraction /
             default_algorithm / default_grid_size: Applied to request fields
             the client leaves unset.  A None ``default_radius`` derives one
@@ -119,6 +126,7 @@ class ServiceConfig:
     calibration_seed_path: Optional[str] = None
     checkpoint_interval_seconds: float = 0.0
     request_timeout_seconds: float = 60.0
+    compact_threshold: int = 0
     default_k: int = 10
     default_radius: Optional[float] = None
     default_radius_fraction: float = 0.10
@@ -138,6 +146,10 @@ class _ServiceCounters:
     batched_requests: int = 0
     max_batch: int = 0
     swaps: int = 0
+    write_batches: int = 0
+    compactions: int = 0
+    last_compaction_unix: Optional[float] = None
+    compaction_error: Optional[str] = None
     checkpoints: int = 0
     last_checkpoint_unix: Optional[float] = None
     checkpoint_error: Optional[str] = None
@@ -207,6 +219,9 @@ class QueryService:
                 ),
             )
         self._index_cache = IndexCache(capacity=engine_config.index_cache_capacity)
+        #: One delta overlay shared by the whole pool: a write absorbed via
+        #: any engine is visible to every dispatcher's next batch.
+        self._delta = DatasetDelta()
         self._engines: List[SPQEngine] = [
             SPQEngine(
                 data_objects,
@@ -215,6 +230,7 @@ class QueryService:
                 extent=extent,
                 index_cache=self._index_cache,
                 planner=self._planner,
+                delta=self._delta,
             )
             for _ in range(self.config.engines)
         ]
@@ -231,6 +247,19 @@ class QueryService:
         self._lock = threading.Lock()
         #: Serializes dataset swaps against each other.
         self._swap_lock = threading.Lock()
+        #: The service's write queue: incremental writes, compactions and
+        #: full swaps serialize here, so a compaction can never race a
+        #: write landing between "materialize the delta" and "swap the
+        #: folded snapshot in" (that write would silently vanish).
+        #: Reentrant because compact() swaps while holding it.
+        self._write_lock = threading.RLock()
+        #: Re-derive the grid extent from the datasets on a full swap
+        #: without an explicit extent (the lazy-extent policy of a plain
+        #: deployment); compactions pin the extent explicitly, so this is
+        #: what keeps a *later* client-initiated full swap re-deriving.
+        self._derive_extent_on_swap = extent is None
+        #: Single-flight gate of the background auto-compaction thread.
+        self._compaction_thread: Optional[threading.Thread] = None
         #: Quiesce gate: while ``_paused`` no new micro-batch starts;
         #: ``_inflight_batches`` counts batches currently executing.
         self._pause_cond = threading.Condition()
@@ -313,6 +342,9 @@ class QueryService:
         self._checkpoint_stop.set()
         if self._checkpoint_thread is not None:
             self._checkpoint_thread.join()
+        compaction = self._compaction_thread
+        if compaction is not None and compaction.is_alive():
+            compaction.join()
         if self._started:
             self.checkpoint()
         for engine in self._engines:
@@ -423,7 +455,12 @@ class QueryService:
             ``{"version", "data_objects", "feature_objects"}`` of the new
             snapshot.
         """
-        with self._swap_lock:
+        if extent is None and self._derive_extent_on_swap:
+            # Pin the extent the engines would lazily derive.  Without
+            # this, a compaction's explicit extent pin would survive into
+            # later full swaps and keep serving the *old* extent.
+            extent = dataset_extent(data_objects, feature_objects)
+        with self._write_lock, self._swap_lock:
             with self._pause_cond:
                 self._paused = True
                 while self._inflight_batches:
@@ -440,6 +477,108 @@ class QueryService:
                     self._paused = False
                     self._pause_cond.notify_all()
         return self.dataset_info()
+
+    # ------------------------------------------------------------------ #
+    # incremental ingest (delta overlay; see docs/ingest.md)
+
+    @property
+    def delta(self) -> DatasetDelta:
+        """The pool's shared append/delete overlay."""
+        return self._delta
+
+    def apply_objects(
+        self,
+        append_data: Sequence[DataObject] = (),
+        append_features: Sequence[FeatureObject] = (),
+        delete_data_oids: Sequence[str] = (),
+        delete_feature_oids: Sequence[str] = (),
+    ) -> Dict[str, object]:
+        """Absorb one incremental write batch (the ``POST /objects`` body).
+
+        Writes serialize on the service write lock but never quiesce the
+        readers: in-flight micro-batches pinned their delta snapshot
+        already and finish on it, the next batch sees the new one.  When
+        the delta grows past ``compact_threshold``, a background
+        compaction is kicked off (single-flight; queries keep flowing).
+
+        Returns:
+            The applied counts plus the delta's new size summary.
+
+        Raises:
+            DatasetUpdateError: for an invalid batch (nothing is applied).
+            RuntimeError: once the service is shut down.
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        with self._write_lock:
+            counts = self._engines[0].apply_updates(
+                append_data=append_data,
+                append_features=append_features,
+                delete_data_oids=delete_data_oids,
+                delete_feature_oids=delete_feature_oids,
+            )
+        with self._lock:
+            self._counters.write_batches += 1
+        self._maybe_autocompact()
+        return {**counts, "delta": self._delta.snapshot().counts()}
+
+    def compact(self) -> Dict[str, object]:
+        """Fold the delta overlay into a fresh base snapshot now.
+
+        Runs under the write lock (no write can land between materialize
+        and swap) and swaps through the standard quiesce protocol, so no
+        in-flight request is lost and readers never block on the fold
+        itself -- only on the brief engine swap.  The current served
+        extent is pinned across the fold: deleting a hull object must not
+        shrink the grids queries are answered on.
+
+        Returns:
+            ``{"compacted": bool, "folded_ops": int, ...dataset_info}``.
+        """
+        with self._write_lock:
+            snapshot = self._delta.snapshot()
+            if snapshot.is_empty:
+                return {
+                    "compacted": False,
+                    "folded_ops": 0,
+                    **self.dataset_info(),
+                }
+            engine = self._engines[0]
+            extent = engine.extent
+            data, features = engine.materialize_datasets(snapshot)
+            self.swap_datasets(data, features, extent=extent)
+            with self._lock:
+                self._counters.compactions += 1
+                self._counters.last_compaction_unix = time.time()
+                self._counters.compaction_error = None
+        return {
+            "compacted": True,
+            "folded_ops": snapshot.num_ops,
+            **self.dataset_info(),
+        }
+
+    def _maybe_autocompact(self) -> None:
+        threshold = self.config.compact_threshold
+        if threshold <= 0 or self._delta.snapshot().num_ops < threshold:
+            return
+        with self._lock:
+            thread = self._compaction_thread
+            if self._closed or (thread is not None and thread.is_alive()):
+                return
+            thread = threading.Thread(
+                target=self._run_autocompaction,
+                name="repro-delta-compaction",
+                daemon=True,
+            )
+            self._compaction_thread = thread
+        thread.start()
+
+    def _run_autocompaction(self) -> None:
+        try:
+            self.compact()
+        except Exception as exc:  # noqa: BLE001 - recorded, never fatal
+            with self._lock:
+                self._counters.compaction_error = str(exc)
 
     def dataset_info(self) -> Dict[str, object]:
         """Version and sizes of the current dataset snapshot."""
@@ -518,7 +657,7 @@ class QueryService:
             self._counters.submitted += 1
         if not self._result_cache.enabled:
             return None
-        key = parsed.canonical_key(self._engines[0].dataset_version)
+        key = parsed.canonical_key(self._cache_version())
         payload = self._result_cache.get(key)
         if payload is None:
             return None
@@ -529,6 +668,18 @@ class QueryService:
             self._counters.cache_hits += 1
             self._counters.completed += 1
         return payload
+
+    def _cache_version(self) -> "tuple[int, int]":
+        """Composite result-cache version: base snapshot + delta overlay.
+
+        Incremental writes do not bump the engines' ``dataset_version``
+        (the base indexes stay valid); the delta version component makes
+        every cached result unreachable the moment a write lands.
+        """
+        return (
+            self._engines[0].dataset_version,
+            self._delta.snapshot().version,
+        )
 
     def _enqueue(self, parsed: ParsedRequest, started: float) -> PendingRequest:
         return self._batcher.submit(
@@ -578,12 +729,16 @@ class QueryService:
         engine = self._engines[worker_index]
         payloads: List[_PendingPayload] = [p.payload for p in batch]  # type: ignore[misc]
         # The cache key embeds the dataset version *at execution time* (it
-        # cannot change mid-batch: swaps wait for in-flight batches), so a
-        # result computed just after a swap is cached under the new version
-        # even if the request was submitted before it.
-        version = engine.dataset_version
+        # cannot change mid-batch: swaps wait for in-flight batches) plus
+        # the delta snapshot pinned for the batch: writes land without
+        # quiescing, so the snapshot's version -- not the live delta's --
+        # is what the computed results actually reflect.
+        snapshot = self._delta.snapshot()
+        version = (engine.dataset_version, snapshot.version)
         try:
-            results = engine.execute_many([p.parsed.item for p in payloads])
+            results = engine.execute_many(
+                [p.parsed.item for p in payloads], delta_snapshot=snapshot
+            )
         except BaseException as exc:  # noqa: BLE001 - delivered to submitters
             for pending in batch:
                 pending.fail(exc)
@@ -657,6 +812,15 @@ class QueryService:
                 "data_objects": len(engine.data_objects),
                 "feature_objects": len(engine.feature_objects),
                 "swaps": counters.swaps,
+            },
+            "ingest": {
+                "delta": self._delta.snapshot().counts(),
+                "cumulative": dict(vars(self._delta.counters)),
+                "write_batches": counters.write_batches,
+                "compactions": counters.compactions,
+                "compact_threshold": self.config.compact_threshold,
+                "last_compaction_unix": counters.last_compaction_unix,
+                "last_compaction_error": counters.compaction_error,
             },
             "defaults": vars(self._defaults),
         }

@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig
 from repro.exceptions import InvalidQueryError
+from repro.index.delta import DatasetDelta
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
 from repro.planner.persistence import scoped_calibration_path
@@ -52,6 +53,7 @@ from repro.server.service import (
     resolve_request_defaults,
 )
 from repro.sharding.partition import ShardingPlan, partition_datasets
+from repro.spatial.partitioning import GridPartitioner
 
 
 @dataclass
@@ -82,6 +84,7 @@ class _RouterCounters:
     failed: int = 0
     cache_hits: int = 0
     swaps: int = 0
+    write_batches: int = 0
 
 
 class ShardRouter:
@@ -148,6 +151,15 @@ class ShardRouter:
         self._counters = _RouterCounters()
         self._dataset_version = 0
         self._num_features = len(feature_objects)
+        #: Router-level mirror of the incremental write stream.  It is the
+        #: single atomic validator of a write batch (duplicate oids,
+        #: extent) *before* anything is pushed to a shard -- a batch that
+        #: would fail on shard 2 after succeeding on shard 1 must be
+        #: rejected whole, up front -- and its snapshot version is the
+        #: write component of the router's result-cache keys.
+        self._delta = DatasetDelta()
+        self._base_data_oids = {obj.oid for obj in data_objects}
+        self._base_feature_oids = {obj.oid for obj in feature_objects}
         self._lock = threading.Lock()
         #: Serializes hot swaps against each other.
         self._swap_lock = threading.Lock()
@@ -324,7 +336,12 @@ class ShardRouter:
 
     def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
         """Cache probe + scatter-gather; runs inside the quiesce gate."""
-        key = parsed.canonical_key(self._dataset_version)
+        # Composite version: incremental writes bump only the delta
+        # component (the shard engines' base snapshots stay valid), making
+        # every cached merged result unreachable the moment a write lands.
+        key = parsed.canonical_key(
+            (self._dataset_version, self._delta.snapshot().version)
+        )
         if self._cache.enabled:
             payload = self._cache.get(key)
             if payload is not None:
@@ -496,6 +513,11 @@ class ShardRouter:
                 self._plan = plan
                 self._num_features = len(feature_objects)
                 self._dataset_version += 1
+                # The write mirror was relative to the old base: new base
+                # oid sets, empty delta (the reset still bumps its version).
+                self._base_data_oids = {obj.oid for obj in data_objects}
+                self._base_feature_oids = {obj.oid for obj in feature_objects}
+                self._delta.reset()
                 self._cache.invalidate()
                 self._defaults = resolve_request_defaults(
                     plan.extent,
@@ -524,6 +546,101 @@ class ShardRouter:
             "version": self._dataset_version,
             "data_objects": self._plan.stats.num_data,
             "feature_objects": self._num_features,
+        }
+
+    # ------------------------------------------------------------------ #
+    # incremental ingest (write routing; see docs/ingest.md)
+
+    def apply_objects(
+        self,
+        append_data: Sequence[DataObject] = (),
+        append_features: Sequence[FeatureObject] = (),
+        delete_data_oids: Sequence[str] = (),
+        delete_feature_oids: Sequence[str] = (),
+    ) -> Dict[str, object]:
+        """Route one incremental write batch to the owning shards.
+
+        The batch is first validated -- and versioned -- atomically against
+        the router's write mirror (so a batch that any shard would reject is
+        rejected whole, before any shard sees it), then routed by the same
+        rules :func:`~repro.sharding.partition.partition_datasets` applied
+        at build time: a data append goes to the one shard whose cell
+        contains it, a feature append is replicated to every shard within
+        ``max_radius`` of it (all shards when ``max_radius`` is None),
+        and deletes are broadcast (shard deltas are idempotent, so
+        non-owners simply ignore them).  Writes serialize against hot swaps
+        and compactions on the swap lock but never quiesce reads.
+
+        Returns:
+            The applied counts plus the router delta's size summary.
+
+        Raises:
+            DatasetUpdateError: for an invalid batch (no shard is touched).
+            RuntimeError: when the router is not started or shut down.
+        """
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("the query service is not started")
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+        with self._swap_lock:
+            counts = self._delta.apply(
+                append_data=list(append_data),
+                append_features=list(append_features),
+                delete_data_oids=delete_data_oids,
+                delete_feature_oids=delete_feature_oids,
+                base_data_oids=self._base_data_oids,
+                base_feature_oids=self._base_feature_oids,
+                extent=self._plan.extent,
+            )
+            num_shards = self.sharding.shards
+            grid = self._plan.grid
+            sub_data: List[List[DataObject]] = [[] for _ in range(num_shards)]
+            for obj in append_data:
+                sub_data[grid.locate(obj.x, obj.y) - 1].append(obj)
+            sub_features: List[List[FeatureObject]] = [
+                [] for _ in range(num_shards)
+            ]
+            if append_features:
+                if self.sharding.max_radius is None or num_shards == 1:
+                    for shard_id in range(num_shards):
+                        sub_features[shard_id] = list(append_features)
+                else:
+                    partitioner = GridPartitioner(grid, self.sharding.max_radius)
+                    for feature in append_features:
+                        for cell_id in partitioner.assign_feature_object(feature):
+                            sub_features[cell_id - 1].append(feature)
+            deletes = bool(delete_data_oids) or bool(delete_feature_oids)
+            for shard_id, service in enumerate(self._services):
+                if sub_data[shard_id] or sub_features[shard_id] or deletes:
+                    service.apply_objects(
+                        append_data=sub_data[shard_id],
+                        append_features=sub_features[shard_id],
+                        delete_data_oids=delete_data_oids,
+                        delete_feature_oids=delete_feature_oids,
+                    )
+            with self._lock:
+                self._counters.write_batches += 1
+        return {**counts, "delta": self._delta.snapshot().counts()}
+
+    def compact(self) -> Dict[str, object]:
+        """Fold every shard's delta into its base snapshot now.
+
+        Each shard compacts independently under its own write lock and
+        quiesce (the shard extent stays pinned to the full-dataset extent,
+        so grids never drift).  Compaction changes no result, so the
+        router's cache and write mirror are left untouched -- the mirror
+        keeps validating against the same live oid set either way.
+        """
+        shards = [service.compact() for service in self._services]
+        return {
+            "compacted": any(info["compacted"] for info in shards),
+            "folded_ops": sum(info["folded_ops"] for info in shards),
+            "shards": [
+                {"shard": shard_id, "compacted": info["compacted"],
+                 "folded_ops": info["folded_ops"]}
+                for shard_id, info in enumerate(shards)
+            ],
         }
 
     # ------------------------------------------------------------------ #
@@ -567,6 +684,10 @@ class ShardRouter:
                     "mean_batch": shard_stats["batching"]["mean_batch"],
                 },
                 "index_cache": shard_stats["index_cache"],
+                "ingest": {
+                    "delta": shard_stats["ingest"]["delta"],
+                    "compactions": shard_stats["ingest"]["compactions"],
+                },
             })
         return {
             "uptime_seconds": self.uptime_seconds(),
@@ -596,6 +717,12 @@ class ShardRouter:
                 ),
             },
             "dataset": {**self.dataset_info(), "swaps": counters.swaps},
+            "ingest": {
+                "delta": self._delta.snapshot().counts(),
+                "cumulative": dict(vars(self._delta.counters)),
+                "write_batches": counters.write_batches,
+                "compact_threshold": self._service_config.compact_threshold,
+            },
             "defaults": vars(self._defaults),
             "shards": shard_trees,
         }

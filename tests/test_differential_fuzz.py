@@ -232,6 +232,107 @@ class TestProcessBackendDifferentialFuzz:
                 )
 
 
+class TestIngestParityFuzz:
+    """Randomized append/delete/query interleavings vs the bulk-swap oracle.
+
+    After every mutation step, the delta-serving engine must answer
+    **bit-for-bit** like a fresh engine bulk-swapped to the final state --
+    ids and scores, ties included -- with the extent pinned (incremental
+    appends may not widen the served extent, so neither may the oracle's).
+    ``auto`` is compared via the planner's chosen algorithm: the delta
+    engine plans on base statistics while the oracle sees final statistics,
+    so the decision itself may differ, but the chosen plan's *answer* must
+    not.  Both dataplanes are fuzzed: tombstones force the columnar plane
+    onto its filtered per-entry fallback, which must stay exact.
+    """
+
+    CHECK_QUERIES = 3
+    MUTATION_STEPS = 10
+
+    @pytest.mark.parametrize("dataplane", ("object", "columnar"))
+    @pytest.mark.parametrize("kind,seed", (("uniform", 9001), ("clustered", 9102)))
+    def test_interleaved_ops_match_bulk_swap(
+        self, kind, seed, dataplane, monkeypatch
+    ):
+        from repro.model.objects import DataObject, FeatureObject
+
+        monkeypatch.setenv("REPRO_DATAPLANE", dataplane)
+        data, features = build_dataset(kind, seed)
+        rng = random.Random(seed + 77)
+        queries = build_queries(seed + 1)
+        with SPQEngine(data, features, config=EngineConfig(grid_size=6)) as engine:
+            extent = engine.extent
+            live_data = {obj.oid for obj in data}
+            live_features = {feature.oid for feature in features}
+            for step in range(self.MUTATION_STEPS):
+                op = rng.choice(("append", "append", "delete", "mixed"))
+                append_data, append_features = [], []
+                delete_data, delete_features = [], []
+                if op in ("append", "mixed"):
+                    for _ in range(rng.randrange(1, 4)):
+                        oid = f"fz-d{step}-{rng.randrange(10_000)}"
+                        if oid in live_data:
+                            continue
+                        append_data.append(DataObject(
+                            oid=oid,
+                            x=rng.uniform(extent.min_x, extent.max_x),
+                            y=rng.uniform(extent.min_y, extent.max_y),
+                        ))
+                    oid = f"fz-f{step}-{rng.randrange(10_000)}"
+                    if oid not in live_features:
+                        append_features.append(FeatureObject(
+                            oid=oid,
+                            x=rng.uniform(extent.min_x, extent.max_x),
+                            y=rng.uniform(extent.min_y, extent.max_y),
+                            keywords=frozenset(
+                                {f"w{rng.randrange(80):04d}", "stop"}
+                            ),
+                        ))
+                if op in ("delete", "mixed"):
+                    delete_data = rng.sample(sorted(live_data), 2)
+                    delete_features = rng.sample(sorted(live_features), 3)
+                engine.apply_updates(
+                    append_data=append_data,
+                    append_features=append_features,
+                    delete_data_oids=delete_data,
+                    delete_feature_oids=delete_features,
+                )
+                live_data = (live_data - set(delete_data)) | {
+                    obj.oid for obj in append_data
+                }
+                live_features = (live_features - set(delete_features)) | {
+                    obj.oid for obj in append_features
+                }
+                if step % 3 != 2 and step != self.MUTATION_STEPS - 1:
+                    continue
+                final_data, final_features = engine.materialize_datasets()
+                with SPQEngine(
+                    final_data, final_features,
+                    config=EngineConfig(grid_size=6), extent=extent,
+                ) as oracle:
+                    for query in rng.sample(queries, self.CHECK_QUERIES):
+                        for algorithm in MR_ALGORITHMS:
+                            got = engine.execute(
+                                query, algorithm=algorithm, grid_size=6
+                            )
+                            want = oracle.execute(
+                                query, algorithm=algorithm, grid_size=6
+                            )
+                            assert fingerprint(got) == fingerprint(want), (
+                                f"{algorithm} diverged at step {step} "
+                                f"({kind}/{seed}, {dataplane})"
+                            )
+                        auto = engine.execute(query, algorithm="auto", grid_size=6)
+                        chosen = auto.stats["planned_algorithm"]
+                        want = oracle.execute(
+                            query, algorithm=chosen, grid_size=6
+                        )
+                        assert fingerprint(auto) == fingerprint(want), (
+                            f"auto ({chosen}) diverged at step {step} "
+                            f"({kind}/{seed}, {dataplane})"
+                        )
+
+
 class TestDataplaneParity:
     """Columnar reduce paths vs the per-object oracle, bit-for-bit.
 
