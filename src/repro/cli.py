@@ -410,6 +410,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "(--shards > 1); ignored",
             file=sys.stderr,
         )
+    if not sharded and (
+        args.layout != "uniform" or args.rebalance_threshold is not None
+    ):
+        print(
+            "warning: --layout/--rebalance-threshold only affect sharded "
+            "serving (--shards > 1); ignored",
+            file=sys.stderr,
+        )
     try:
         engine_config = _engine_config(args, grid_size=args.grid_size)
         service_config = ServiceConfig(
@@ -436,7 +444,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 engine_config=engine_config,
                 service_config=service_config,
                 sharding=ShardingConfig(
-                    shards=args.shards, max_radius=args.max_radius
+                    shards=args.shards,
+                    max_radius=args.max_radius,
+                    layout=args.layout,
+                    rebalance_threshold=args.rebalance_threshold,
                 ),
             )
         else:
@@ -485,15 +496,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"calibration restored from {args.calibration_path} "
             f"({stats['planner']['calibration']['observations']} observations)"
         )
-    shard_note = f", {args.shards} shards" if sharded else ""
+    shard_note = (
+        f", {args.shards} shards ({args.layout} layout)" if sharded else ""
+    )
     print(
         f"repro serve: listening on http://{args.host}:{server.port}  "
         f"({len(data)} data objects, {len(features)} feature objects, "
         f"{args.engines} engines{shard_note})"
     )
+    rebalance_note = "  POST /rebalance" if sharded else ""
     print(
         "endpoints: POST /query  POST /batch  POST /objects  "
-        "POST /datasets  GET /healthz  GET /stats"
+        f"POST /datasets{rebalance_note}  GET /healthz  GET /stats"
     )
     sys.stdout.flush()
 
@@ -869,6 +883,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bounds cross-shard feature replication; queries above "
                             "it are rejected; default: unbounded, features "
                             "replicated to every shard)")
+    serve.add_argument("--layout", choices=("uniform", "skew"), default="uniform",
+                       help="with --shards > 1: shard extent layout -- 'uniform' "
+                            "splits the extent most-square, 'skew' balances "
+                            "per-shard object counts with kd splits over the data "
+                            "histogram (clustered datasets)")
+    serve.add_argument("--rebalance-threshold", type=float, default=None,
+                       help="with --shards > 1: per-shard p99 imbalance ratio above "
+                            "which the background controller re-derives a skew "
+                            "layout from the live data distribution (default: "
+                            "controller off; POST /rebalance stays available)")
     serve.add_argument("--cluster", type=int, default=0,
                        help="cluster mode: spawn N shard-node processes (each its "
                             "own OS process behind HTTP) and front them with the "

@@ -23,6 +23,10 @@ Endpoints (see ``docs/service.md`` for the full protocol reference):
 * ``GET /heartbeat`` -- cluster-node identity probe (node id, shard index,
   dataset epoch/version); only served when the bound service exposes a
   ``heartbeat()`` method (shard nodes do), ``404`` otherwise.
+* ``POST /rebalance`` -- re-derive the shard layout from the live data
+  distribution (``docs/sharding.md``); only served when the bound service
+  exposes a ``rebalance()`` method (the shard router does), ``404``
+  otherwise.  Body: empty or ``{"layout": "skew"|"uniform"}``.
 
 The bound service is a :class:`~repro.server.service.QueryService`, a
 :class:`~repro.sharding.router.ShardRouter` (``repro serve --shards N``),
@@ -163,13 +167,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, error_payload(
                     "this server is not a cluster shard node"
                 ))
-        elif self.path in ("/query", "/batch", "/datasets", "/objects"):
+        elif self.path in ("/query", "/batch", "/datasets", "/objects",
+                           "/rebalance"):
             self._send_json(405, error_payload(f"use POST for {self.path}"))
         else:
             self._send_json(404, error_payload(f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Serve ``/query``, ``/batch``, ``/datasets`` and ``/objects``."""
+        """Serve ``/query``, ``/batch``, ``/datasets``, ``/objects``, ``/rebalance``."""
         if self.path == "/query":
             self._handle_query()
         elif self.path == "/batch":
@@ -178,6 +183,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._handle_datasets()
         elif self.path == "/objects":
             self._handle_objects()
+        elif self.path == "/rebalance":
+            self._handle_rebalance()
         elif self.path in ("/healthz", "/stats", "/heartbeat"):
             self._send_json(405, error_payload(f"use GET for {self.path}"))
         else:
@@ -325,6 +332,47 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
             return
         self._send_json(200, {"status": "ok", "applied": info})
+
+    def _handle_rebalance(self) -> None:
+        """Re-derive the shard layout from the live data distribution.
+
+        Served only when the bound service exposes a ``rebalance`` method
+        (the shard router does; plain services and cluster fronts answer
+        ``404``) -- the same duck-typing as ``/heartbeat``.  Body: empty,
+        or ``{"layout": "skew"|"uniform"}``.
+        """
+        rebalance = getattr(self.server.service, "rebalance", None)
+        if not callable(rebalance):
+            self._send_json(404, error_payload(
+                "this server is not a sharded router; nothing to rebalance"
+            ))
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        kwargs = {}
+        if body.strip():
+            try:
+                spec = json.loads(body)
+            except json.JSONDecodeError as exc:
+                self._send_json(400, error_payload(f"invalid JSON: {exc}"))
+                return
+            if not isinstance(spec, Mapping) or set(spec) - {"layout"}:
+                self._send_json(400, error_payload(
+                    "body must be empty or {\"layout\": ...}"
+                ))
+                return
+            if "layout" in spec:
+                kwargs["layout"] = spec["layout"]
+        try:
+            info = rebalance(**kwargs)
+        except (ReproError, ValueError) as exc:
+            self._send_json(400, error_payload(str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._send_json(500, error_payload(f"{type(exc).__name__}: {exc}"))
+            return
+        self._send_json(200, {"status": "ok", "rebalance": info})
 
     @staticmethod
     def _parse_batch_body(body: bytes) -> List[Mapping[str, object]]:

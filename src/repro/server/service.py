@@ -406,6 +406,38 @@ class QueryService:
             self._counters.checkpoint_error = None
         return self.config.calibration_path
 
+    def seed_calibration_if_cold(self) -> bool:
+        """(Re)seed a still-cold calibrator from its snapshot or seed path.
+
+        The shard router calls this after a rebalance: a shard that served
+        no traffic before the layout change still has zero observations,
+        and re-running the restore-or-seed rule of :meth:`start` hands it
+        the fleet-wide estimates of the shared seed snapshot instead of a
+        cold start.  A calibrator that has learned anything -- or a
+        service without persistence configured -- is left untouched.
+
+        Returns:
+            True when a snapshot or seed was applied.
+        """
+        planner = self._planner
+        if planner is None or planner.calibrator.observations > 0:
+            return False
+        if not (
+            self.config.calibration_path or self.config.calibration_seed_path
+        ):
+            return False
+        rejected = try_restore_calibration(
+            self.config.calibration_path,
+            planner.calibrator,
+            seed_path=self.config.calibration_seed_path,
+        )
+        seeded = rejected is None and planner.calibrator.observations > 0
+        if seeded:
+            with self._lock:
+                self._counters.calibration_restored = True
+                self._counters.calibration_seeded = True
+        return seeded
+
     # ------------------------------------------------------------------ #
     # datasets
 

@@ -23,10 +23,21 @@ objects through the same front-end (``repro serve --shards N``):
 * hot swaps (``POST /datasets``) quiesce the router (in-flight scatter
   requests drain, new ones queue at the gate), repartition, swap every
   shard atomically and invalidate the router's result cache by bumping the
-  router dataset version.
+  router dataset version;
+* **rebalancing** (``POST /rebalance``, or the background controller when
+  ``--rebalance-threshold`` is set) recomputes a skew-aware
+  :class:`~repro.sharding.layout.ShardLayout` from the live data
+  histogram, materializes the current base+delta state in bulk-swap order
+  and applies it through the same quiesce path -- the dataset content is
+  unchanged, so answers stay bit-for-bit identical across the layout
+  change, and freshly populated shards re-seed their planner calibrators
+  from the shared snapshot (the PR-7 ``calibration_seed_path`` rule)
+  instead of starting cold.
 
 ``benchmarks/bench_sharding.py --check`` gates result identity, 4-shard
-throughput and loss-free hot swaps under load.
+throughput and loss-free hot swaps under load;
+``benchmarks/bench_rebalance.py --check`` gates the skew layout's p99 win
+on clustered data plus loss-free rebalancing under load.
 """
 
 from __future__ import annotations
@@ -40,7 +51,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig
 from repro.exceptions import InvalidQueryError
-from repro.index.delta import DatasetDelta
+from repro.index.delta import DatasetDelta, materialize
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
 from repro.planner.persistence import scoped_calibration_path
@@ -52,8 +63,9 @@ from repro.server.service import (
     ServiceConfig,
     resolve_request_defaults,
 )
+from repro.sharding.layout import LAYOUT_CHOICES
 from repro.sharding.partition import ShardingPlan, partition_datasets
-from repro.spatial.partitioning import GridPartitioner
+from repro.spatial.geometry import BoundingBox
 
 
 @dataclass
@@ -68,11 +80,32 @@ class ShardingConfig:
         scatter_threads: Size of the scatter thread pool (one task per
             shard per in-flight request).  ``None`` picks
             ``min(64, shards * 8)``.
+        layout: Initial shard layout kind: ``"uniform"`` (the historical
+            most-square extent split) or ``"skew"`` (count-balancing kd
+            split over the data histogram; see
+            :mod:`repro.sharding.layout`).
+        layout_resolution: Skew layout-grid cells per axis.  ``None``
+            follows the served default query grid size, which keeps the
+            default grid layout-aligned (the score-tie contract).
+        rebalance_threshold: Per-shard p99 imbalance ratio (slowest shard
+            p99 over the median shard p99, measured over the controller's
+            observation window) above which the background controller
+            triggers a skew rebalance.  ``None`` disables the controller;
+            :meth:`ShardRouter.rebalance` stays available either way.
+        rebalance_interval_seconds: Controller sampling period.
+        rebalance_min_requests: Minimum scatter requests observed across
+            the window before an imbalance verdict is trusted (a handful
+            of requests make a meaningless p99).
     """
 
     shards: int = 2
     max_radius: Optional[float] = None
     scatter_threads: Optional[int] = None
+    layout: str = "uniform"
+    layout_resolution: Optional[int] = None
+    rebalance_threshold: Optional[float] = None
+    rebalance_interval_seconds: float = 2.0
+    rebalance_min_requests: int = 50
 
 
 @dataclass
@@ -85,6 +118,7 @@ class _RouterCounters:
     cache_hits: int = 0
     swaps: int = 0
     write_batches: int = 0
+    rebalances: int = 0
 
 
 class ShardRouter:
@@ -125,23 +159,46 @@ class ShardRouter:
         self.sharding = sharding or ShardingConfig()
         if self.sharding.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.sharding.shards}")
+        if self.sharding.layout not in LAYOUT_CHOICES:
+            raise ValueError(
+                f"unknown layout {self.sharding.layout!r}; "
+                f"expected one of {LAYOUT_CHOICES}"
+            )
         self._engine_config = engine_config or EngineConfig()
         self._service_config = service_config or ServiceConfig()
+        #: Skew layouts snap to this grid; following the served default
+        #: query grid keeps the default grid layout-aligned.
+        self._layout_resolution = (
+            self.sharding.layout_resolution
+            or self._service_config.default_grid_size
+            or self._engine_config.grid_size
+        )
+        self._layout_kind = self.sharding.layout
         self._plan = partition_datasets(
             data_objects,
             feature_objects,
             self.sharding.shards,
             max_radius=self.sharding.max_radius,
+            layout=self._layout_kind,
+            layout_resolution=self._layout_resolution,
         )
+        #: The base snapshot behind the shards, in storage order; together
+        #: with the delta mirror this is what a rebalance materializes to
+        #: rebuild the full current dataset in bulk-swap order.
+        self._base_data = list(data_objects)
+        self._base_features = list(feature_objects)
+        # One service per *configured* shard, even when a degenerate
+        # layout produced fewer: a later swap or rebalance may grow the
+        # plan back, and extra services idle over empty slices until then
+        # (the scatter path only targets plan shards).
         self._services: List[QueryService] = [
             QueryService(
-                shard.data_objects,
-                shard.feature_objects,
+                *self._shard_slice(self._plan, shard_id),
                 engine_config=self._engine_config,
-                config=self._shard_service_config(shard.shard_id),
+                config=self._shard_service_config(shard_id),
                 extent=self._plan.extent,
             )
-            for shard in self._plan.shards
+            for shard_id in range(self.sharding.shards)
         ]
         self._defaults = resolve_request_defaults(
             self._plan.extent, self._engine_config.grid_size, self._service_config
@@ -172,6 +229,21 @@ class ShardRouter:
         self._started = False
         self._closed = False
         self._started_monotonic: Optional[float] = None
+        #: Background imbalance watcher (started only with a threshold).
+        self._rebalance_stop = threading.Event()
+        self._rebalance_thread: Optional[threading.Thread] = None
+        self._last_rebalance_unix: Optional[float] = None
+        self._last_observed_imbalance: Optional[float] = None
+
+    @staticmethod
+    def _shard_slice(
+        plan: ShardingPlan, shard_id: int
+    ) -> Tuple[List[DataObject], List[FeatureObject]]:
+        """``shard_id``'s slice of ``plan`` (empty past the plan's end)."""
+        if shard_id < len(plan.shards):
+            shard = plan.shards[shard_id]
+            return shard.data_objects, shard.feature_objects
+        return [], []
 
     def _shard_service_config(self, shard_id: int) -> ServiceConfig:
         config = dataclasses.replace(self._service_config, result_cache_capacity=0)
@@ -205,6 +277,13 @@ class ShardRouter:
         )
         for service in self._services:
             service.start()
+        if self.sharding.rebalance_threshold is not None:
+            self._rebalance_thread = threading.Thread(
+                target=self._run_rebalance_controller,
+                name="repro-rebalance",
+                daemon=True,
+            )
+            self._rebalance_thread.start()
         return self
 
     def shutdown(self) -> None:
@@ -222,6 +301,9 @@ class ShardRouter:
             if self._closed:
                 return
             self._closed = True
+        self._rebalance_stop.set()
+        if self._rebalance_thread is not None:
+            self._rebalance_thread.join()
         with self._gate:
             while self._inflight:
                 self._gate.wait()
@@ -493,44 +575,246 @@ class ShardRouter:
         new snapshot once the gate reopens.
         """
         with self._swap_lock:
-            with self._gate:
-                self._paused = True
-                while self._inflight:
-                    self._gate.wait()
-            try:
-                plan = partition_datasets(
-                    data_objects,
-                    feature_objects,
-                    self.sharding.shards,
-                    max_radius=self.sharding.max_radius,
-                )
-                for service, shard in zip(self._services, plan.shards):
-                    service.swap_datasets(
-                        shard.data_objects,
-                        shard.feature_objects,
-                        extent=plan.extent,
-                    )
-                self._plan = plan
-                self._num_features = len(feature_objects)
-                self._dataset_version += 1
-                # The write mirror was relative to the old base: new base
-                # oid sets, empty delta (the reset still bumps its version).
-                self._base_data_oids = {obj.oid for obj in data_objects}
-                self._base_feature_oids = {obj.oid for obj in feature_objects}
-                self._delta.reset()
-                self._cache.invalidate()
-                self._defaults = resolve_request_defaults(
-                    plan.extent,
-                    self._engine_config.grid_size,
-                    self._service_config,
-                )
-                with self._lock:
-                    self._counters.swaps += 1
-            finally:
-                with self._gate:
-                    self._paused = False
-                    self._gate.notify_all()
+            self._install_plan_locked(
+                data_objects, feature_objects, self._layout_kind
+            )
+            with self._lock:
+                self._counters.swaps += 1
         return self.dataset_info()
+
+    def _install_plan_locked(
+        self,
+        data_objects: Sequence[DataObject],
+        feature_objects: Sequence[FeatureObject],
+        layout: str,
+        extent: Optional[BoundingBox] = None,
+    ) -> ShardingPlan:
+        """Repartition + apply a dataset under the quiesce gate.
+
+        The shared tail of :meth:`swap_datasets` and :meth:`rebalance`;
+        the caller must hold ``_swap_lock``.  Pauses the gate, drains
+        in-flight scatter-gathers, swaps every shard service (padding
+        services past a shorter plan with empty slices at the new extent),
+        bumps the router dataset version -- every cached result becomes
+        unreachable -- resets the write mirror to the new base, re-derives
+        the defaults and reopens the gate.
+        """
+        with self._gate:
+            self._paused = True
+            while self._inflight:
+                self._gate.wait()
+        try:
+            plan = partition_datasets(
+                data_objects,
+                feature_objects,
+                self.sharding.shards,
+                max_radius=self.sharding.max_radius,
+                extent=extent,
+                layout=layout,
+                layout_resolution=self._layout_resolution,
+            )
+            for shard_id, service in enumerate(self._services):
+                shard_data, shard_features = self._shard_slice(plan, shard_id)
+                service.swap_datasets(
+                    shard_data, shard_features, extent=plan.extent
+                )
+            self._plan = plan
+            self._layout_kind = plan.stats.kind
+            self._base_data = list(data_objects)
+            self._base_features = list(feature_objects)
+            self._num_features = len(feature_objects)
+            self._dataset_version += 1
+            # The write mirror was relative to the old base: new base
+            # oid sets, empty delta (the reset still bumps its version).
+            self._base_data_oids = {obj.oid for obj in data_objects}
+            self._base_feature_oids = {obj.oid for obj in feature_objects}
+            self._delta.reset()
+            self._cache.invalidate()
+            self._defaults = resolve_request_defaults(
+                plan.extent,
+                self._engine_config.grid_size,
+                self._service_config,
+            )
+        finally:
+            with self._gate:
+                self._paused = False
+                self._gate.notify_all()
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # rebalancing (see docs/sharding.md)
+
+    def rebalance(self, layout: str = "skew") -> Dict[str, object]:
+        """Re-derive the shard layout from the live data distribution.
+
+        The current dataset -- base snapshot plus delta overlay -- is
+        materialized in bulk-swap order (the identity contract's storage
+        order), a fresh ``layout`` (skew by default) is derived from its
+        per-cell histogram, and the result is applied through the same
+        quiesce path as a hot swap, with the extent pinned so the query
+        grids never drift.  The dataset *content* is unchanged, so every
+        answer after the rebalance is bit-for-bit the answer before it;
+        only the per-shard work distribution moves.  Shards whose planner
+        calibrator is still cold afterwards are re-seeded from the
+        configured calibration seed snapshot.
+
+        Returns:
+            A summary of the new layout: kind, shard count, per-shard data
+            share, imbalance ratio and which shards were re-seeded.
+
+        Raises:
+            ValueError: for an unknown layout kind.
+            RuntimeError: when the router is not started or shut down.
+        """
+        if layout not in LAYOUT_CHOICES:
+            raise ValueError(
+                f"unknown layout {layout!r}; expected one of {LAYOUT_CHOICES}"
+            )
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("the query service is not started")
+            if self._closed:
+                raise RuntimeError("the query service is shut down")
+        with self._swap_lock:
+            data_objects, feature_objects = materialize(
+                self._base_data, self._base_features, self._delta.snapshot()
+            )
+            plan = self._install_plan_locked(
+                data_objects, feature_objects, layout, extent=self._plan.extent
+            )
+            seeded = [
+                shard_id
+                for shard_id, service in enumerate(self._services)
+                if service.seed_calibration_if_cold()
+            ]
+            with self._lock:
+                self._counters.rebalances += 1
+            self._last_rebalance_unix = time.time()
+        counts = [len(shard.data_objects) for shard in plan.shards]
+        return {
+            "layout": plan.stats.kind,
+            "shards": plan.stats.num_shards,
+            "empty_shards": plan.stats.empty_shards,
+            "data_share": self._data_share(counts),
+            "imbalance": self._imbalance(counts),
+            "seeded_shards": seeded,
+            "dataset": self.dataset_info(),
+        }
+
+    @staticmethod
+    def _data_share(counts: Sequence[int]) -> List[float]:
+        total = sum(counts)
+        if not total:
+            return [0.0 for _ in counts]
+        return [count / total for count in counts]
+
+    @staticmethod
+    def _imbalance(counts: Sequence[int]) -> float:
+        """Max-over-mean data-count ratio (1.0 = perfectly balanced)."""
+        total = sum(counts)
+        if not counts or not total:
+            return 1.0
+        return max(counts) / (total / len(counts))
+
+    # -- the background controller ------------------------------------- #
+
+    def _run_rebalance_controller(self) -> None:
+        """Watch per-shard p99 latencies; rebalance on sustained imbalance.
+
+        Every interval the controller snapshots each data-bearing shard's
+        latency histogram buckets and computes the *windowed* p99 -- the
+        p99 of only the requests served since the previous sample, from
+        bucket-count deltas (the histograms themselves are cumulative).
+        When the slowest shard's windowed p99 exceeds the median shard's
+        by the configured threshold (and the window saw enough requests to
+        mean anything), it triggers :meth:`rebalance` and restarts its
+        observation window.
+        """
+        interval = self.sharding.rebalance_interval_seconds
+        previous: Optional[List[Dict[object, int]]] = None
+        while not self._rebalance_stop.wait(interval):
+            try:
+                current = self._shard_bucket_counts()
+                if previous is not None and self._should_rebalance(
+                    previous, current
+                ):
+                    self.rebalance()
+                    current = None  # fresh window over the new layout
+                previous = current
+            except RuntimeError:
+                return  # raced shutdown
+            except Exception:  # pragma: no cover - keep watching
+                previous = None
+
+    def _shard_bucket_counts(self) -> List[Dict[object, int]]:
+        """Cumulative latency bucket counts per data-bearing shard."""
+        shard_ids = [
+            shard.shard_id for shard in self._plan.shards if not shard.is_empty
+        ]
+        return [
+            {
+                bucket["le_ms"]: bucket["count"]
+                for bucket in self._services[shard_id].stats()["latency"][
+                    "buckets"
+                ]
+            }
+            for shard_id in shard_ids
+        ]
+
+    def _should_rebalance(
+        self,
+        previous: List[Dict[object, int]],
+        current: List[Dict[object, int]],
+    ) -> bool:
+        if len(previous) != len(current):
+            return False  # the shard set changed under the window
+        windows = [
+            self._windowed_p99(before, after)
+            for before, after in zip(previous, current)
+        ]
+        total = sum(count for count, _ in windows)
+        p99s = sorted(p99 for count, p99 in windows if count and p99 is not None)
+        if total < self.sharding.rebalance_min_requests or len(p99s) < 2:
+            self._last_observed_imbalance = None
+            return False
+        # Lower median: for an even shard count the upper-middle element
+        # can *be* the slowest shard (2 shards: median == max, ratio
+        # pegged at 1.0), which would blind the controller entirely.
+        median = p99s[(len(p99s) - 1) // 2]
+        imbalance = p99s[-1] / median if median > 0 else 1.0
+        self._last_observed_imbalance = imbalance
+        threshold = self.sharding.rebalance_threshold
+        return threshold is not None and imbalance >= threshold
+
+    @staticmethod
+    def _windowed_p99(
+        before: Dict[object, int], after: Dict[object, int]
+    ) -> Tuple[int, Optional[float]]:
+        """(request count, p99 ms) of one window from bucket-count deltas."""
+
+        def bound(le_ms: object) -> float:
+            return float("inf") if le_ms == "inf" else float(le_ms)
+
+        deltas = [
+            (bound(le_ms), after[le_ms] - before.get(le_ms, 0))
+            for le_ms in sorted(after, key=bound)
+        ]
+        count = sum(delta for _, delta in deltas)
+        if count <= 0:
+            return (0, None)
+        rank = 0.99 * count
+        seen = 0
+        largest_finite = 0.0
+        for le_ms, delta in deltas:
+            if le_ms != float("inf"):
+                largest_finite = le_ms
+            seen += delta
+            if seen >= rank:
+                # The overflow bucket has no upper bound; report past the
+                # last finite one so it still dominates any finite p99.
+                return (count, le_ms if le_ms != float("inf")
+                        else largest_finite * 2.0)
+        return (count, largest_finite * 2.0)  # pragma: no cover - defensive
 
     def set_datasets(
         self,
@@ -593,11 +877,12 @@ class ShardRouter:
                 base_feature_oids=self._base_feature_oids,
                 extent=self._plan.extent,
             )
-            num_shards = self.sharding.shards
-            grid = self._plan.grid
+            layout = self._plan.layout
+            assert layout is not None  # partition_datasets always sets it
+            num_shards = layout.num_shards
             sub_data: List[List[DataObject]] = [[] for _ in range(num_shards)]
             for obj in append_data:
-                sub_data[grid.locate(obj.x, obj.y) - 1].append(obj)
+                sub_data[layout.locate(obj.x, obj.y)].append(obj)
             sub_features: List[List[FeatureObject]] = [
                 [] for _ in range(num_shards)
             ]
@@ -606,12 +891,14 @@ class ShardRouter:
                     for shard_id in range(num_shards):
                         sub_features[shard_id] = list(append_features)
                 else:
-                    partitioner = GridPartitioner(grid, self.sharding.max_radius)
                     for feature in append_features:
-                        for cell_id in partitioner.assign_feature_object(feature):
-                            sub_features[cell_id - 1].append(feature)
+                        for shard_id in layout.shards_within(
+                            feature.x, feature.y, self.sharding.max_radius
+                        ):
+                            sub_features[shard_id].append(feature)
             deletes = bool(delete_data_oids) or bool(delete_feature_oids)
-            for shard_id, service in enumerate(self._services):
+            for shard_id in range(num_shards):
+                service = self._services[shard_id]
                 if sub_data[shard_id] or sub_features[shard_id] or deletes:
                     service.apply_objects(
                         append_data=sub_data[shard_id],
@@ -668,6 +955,9 @@ class ShardRouter:
         with self._lock:
             counters = _RouterCounters(**vars(self._counters))
         plan_stats = self._plan.stats
+        shard_data_counts = [
+            len(shard.data_objects) for shard in self._plan.shards
+        ]
         shard_trees: List[Dict[str, object]] = []
         for shard, service in zip(self._plan.shards, self._services):
             shard_stats = service.stats()
@@ -708,6 +998,7 @@ class ShardRouter:
             "sharding": {
                 "shards": plan_stats.num_shards,
                 "layout": list(plan_stats.layout),
+                "layout_kind": plan_stats.kind,
                 "max_radius": self.sharding.max_radius,
                 "active_shards": plan_stats.num_shards - plan_stats.empty_shards,
                 "empty_shards": plan_stats.empty_shards,
@@ -715,6 +1006,26 @@ class ShardRouter:
                 "grid_aligned_default": self._plan.grid_aligned(
                     self._defaults.grid_size
                 ),
+                "balance": {
+                    "kind": plan_stats.kind,
+                    "data_share": self._data_share(shard_data_counts),
+                    "imbalance": self._imbalance(shard_data_counts),
+                    "rebalances": counters.rebalances,
+                    "last_rebalance_unix": self._last_rebalance_unix,
+                    "controller": {
+                        "enabled": (
+                            self.sharding.rebalance_threshold is not None
+                        ),
+                        "threshold": self.sharding.rebalance_threshold,
+                        "interval_seconds": (
+                            self.sharding.rebalance_interval_seconds
+                        ),
+                        "min_requests": self.sharding.rebalance_min_requests,
+                        "last_observed_imbalance": (
+                            self._last_observed_imbalance
+                        ),
+                    },
+                },
             },
             "dataset": {**self.dataset_info(), "swaps": counters.swaps},
             "ingest": {

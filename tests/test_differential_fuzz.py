@@ -333,6 +333,148 @@ class TestIngestParityFuzz:
                         )
 
 
+class TestSkewLayoutParityFuzz:
+    """Randomized rebalances interleaved with queries and ingest.
+
+    A 4-shard router starts on a skew layout, then a seeded schedule of
+    incremental write batches, live ``rebalance()`` calls (flipping between
+    skew and uniform layouts) and checkpoint queries runs against it.  At
+    every checkpoint the router must answer **bit-for-bit** like a fresh
+    unsharded engine bulk-swapped to the current state -- ids and scores,
+    ties included -- with the extent pinned (rebalances pin the extent, so
+    neither may the oracle's drift).  This is the live-rebalancing twin of
+    :class:`TestIngestParityFuzz`: layout changes move *work*, never
+    *answers*.  ``auto`` is compared through the router's agreed planned
+    algorithm when the shards converge on one (shards plan on shard-local
+    statistics, so the decision may legitimately differ from the oracle's).
+    """
+
+    CHECK_QUERIES = 3
+    MUTATION_STEPS = 10
+    GRID = 6
+
+    @pytest.mark.parametrize("kind,seed", (("clustered", 9102), ("uniform", 9001)))
+    def test_interleaved_rebalances_match_bulk_swap(self, kind, seed):
+        from repro.core.engine import EngineConfig, SPQEngine
+        from repro.model.objects import DataObject, FeatureObject
+        from repro.server import ServiceConfig
+        from repro.sharding import ShardRouter, ShardingConfig
+
+        data, features = build_dataset(kind, seed)
+        rng = random.Random(seed + 177)
+        queries = build_queries(seed + 1)
+        grid = self.GRID
+        router = ShardRouter(
+            data, features,
+            engine_config=EngineConfig(grid_size=grid),
+            service_config=ServiceConfig(
+                engines=1, default_grid_size=grid, result_cache_capacity=0
+            ),
+            sharding=ShardingConfig(shards=4, layout="skew",
+                                    layout_resolution=grid),
+        )
+        with router:
+            extent = router.plan.extent
+            # The bulk-swap mirror: surviving objects in storage order,
+            # appends at the tail -- exactly ``materialize``'s order, which
+            # rebalancing re-bases but never reorders.
+            live_data = list(data)
+            live_features = list(features)
+            rebalances = 0
+            for step in range(self.MUTATION_STEPS):
+                if rng.random() < 0.5:
+                    layout = rng.choice(("skew", "uniform"))
+                    info = router.rebalance(layout)
+                    rebalances += 1
+                    assert info["layout"] == layout
+                    assert sum(info["data_share"]) == pytest.approx(1.0)
+                append_data, append_features = [], []
+                delete_data, delete_features = [], []
+                live_data_oids = {obj.oid for obj in live_data}
+                live_feature_oids = {obj.oid for obj in live_features}
+                if rng.random() < 0.8:
+                    for _ in range(rng.randrange(1, 4)):
+                        oid = f"rb-d{step}-{rng.randrange(10_000)}"
+                        if oid in live_data_oids:
+                            continue
+                        append_data.append(DataObject(
+                            oid=oid,
+                            x=rng.uniform(extent.min_x, extent.max_x),
+                            y=rng.uniform(extent.min_y, extent.max_y),
+                        ))
+                    oid = f"rb-f{step}-{rng.randrange(10_000)}"
+                    if oid not in live_feature_oids:
+                        append_features.append(FeatureObject(
+                            oid=oid,
+                            x=rng.uniform(extent.min_x, extent.max_x),
+                            y=rng.uniform(extent.min_y, extent.max_y),
+                            keywords=frozenset(
+                                {f"w{rng.randrange(80):04d}", "stop"}
+                            ),
+                        ))
+                if rng.random() < 0.5:
+                    delete_data = rng.sample(sorted(live_data_oids), 2)
+                    delete_features = rng.sample(sorted(live_feature_oids), 2)
+                router.apply_objects(
+                    append_data=append_data,
+                    append_features=append_features,
+                    delete_data_oids=delete_data,
+                    delete_feature_oids=delete_features,
+                )
+                live_data = [
+                    obj for obj in live_data if obj.oid not in set(delete_data)
+                ] + append_data
+                live_features = [
+                    obj for obj in live_features
+                    if obj.oid not in set(delete_features)
+                ] + append_features
+                if step % 3 != 2 and step != self.MUTATION_STEPS - 1:
+                    continue
+                with SPQEngine(
+                    live_data, live_features,
+                    config=EngineConfig(grid_size=grid), extent=extent,
+                ) as oracle:
+                    for query in rng.sample(queries, self.CHECK_QUERIES):
+                        spec = {
+                            "keywords": sorted(query.keywords),
+                            "k": query.k,
+                            "radius": query.radius,
+                            "grid_size": grid,
+                        }
+                        for algorithm in MR_ALGORITHMS:
+                            response = router.submit(
+                                {**spec, "algorithm": algorithm}
+                            )
+                            got = tuple(
+                                (e["oid"], e["score"])
+                                for e in response["results"]
+                            )
+                            want = fingerprint(oracle.execute(
+                                query, algorithm=algorithm, grid_size=grid
+                            ))
+                            assert got == want, (
+                                f"{algorithm} diverged at step {step} "
+                                f"({kind}/{seed}, rebalances={rebalances})"
+                            )
+                        auto = router.submit({**spec, "algorithm": "auto"})
+                        chosen = auto.get("planned_algorithm")
+                        if chosen:  # every shard agreed on one plan
+                            got = tuple(
+                                (e["oid"], e["score"])
+                                for e in auto["results"]
+                            )
+                            want = fingerprint(oracle.execute(
+                                query, algorithm=chosen, grid_size=grid
+                            ))
+                            assert got == want, (
+                                f"auto ({chosen}) diverged at step {step} "
+                                f"({kind}/{seed})"
+                            )
+            assert router.stats()["sharding"]["balance"]["rebalances"] == (
+                rebalances
+            )
+
+
 class TestDataplaneParity:
     """Columnar reduce paths vs the per-object oracle, bit-for-bit.
 
