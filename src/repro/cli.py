@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the full workflow a downstream user needs:
+The subcommands cover the full workflow a downstream user needs:
 
 * ``generate``    -- create a dataset file (UN / CL / FL-like / TW-like).
 * ``query``       -- run a spatial preference query over a dataset file with
@@ -9,6 +9,9 @@ Six subcommands cover the full workflow a downstream user needs:
   engine (shared index builds) and emit one JSON result line per query.
 * ``serve``       -- run the persistent HTTP query service: warm engine
   pool, micro-batching, result cache, durable planner calibration.
+* ``loadgen``     -- fire a seeded open-loop workload (Poisson/diurnal
+  arrivals, Zipf keywords, hotspots, bursts) at a running server or an
+  in-process service and print the reconciled results ledger.
 * ``analyze``     -- print the Section 6 analytical tables (duplication factor
   and cell-size cost) for given parameters.
 * ``experiments`` -- regenerate the figure series (same engine as
@@ -434,6 +437,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_radius_fraction=args.radius_fraction,
             default_algorithm=args.algorithm,
             default_grid_size=args.grid_size,
+            admission_queue_depth=args.admission_depth,
+            default_deadline_ms=args.default_deadline_ms,
         )
         if sharded:
             from repro.sharding import ShardRouter, ShardingConfig
@@ -587,6 +592,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             default_radius_fraction=args.radius_fraction,
             default_algorithm=args.algorithm,
             default_grid_size=args.grid_size,
+            admission_queue_depth=args.admission_depth,
+            default_deadline_ms=args.default_deadline_ms,
         )
         cluster_config = ClusterConfig(
             shards=args.cluster,
@@ -748,6 +755,105 @@ def _cmd_shard_node(args: argparse.Namespace) -> int:
     sys.stdout.flush()
     _run_server_loop(server, [node.shutdown])
     return 0
+
+
+# --------------------------------------------------------------------- #
+# loadgen
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: fire a seeded open-loop workload at a service.
+
+    Two targets: ``--url`` drives a running ``repro serve`` over HTTP
+    (keep-alive client fleet); without it an in-process service (or shard
+    router with ``--shards``) is built from the same dataset, which is
+    the zero-setup way to experiment with admission control.
+    """
+    from repro.traffic import (
+        HttpTarget,
+        LoadGenerator,
+        ServiceTarget,
+        TrafficModel,
+        WorkloadConfig,
+    )
+
+    data, features = load_dataset(args.input)
+    if not features:
+        print("error: dataset contains no feature objects", file=sys.stderr)
+        return 2
+    try:
+        workload = WorkloadConfig(
+            seed=args.seed,
+            duration_seconds=args.duration,
+            rate=args.rate,
+            arrival=args.arrival,
+            diurnal_amplitude=args.diurnal_amplitude,
+            zipf_exponent=args.zipf_exponent,
+            keywords_per_query=args.keywords_per_query,
+            k=args.k,
+            radius=args.radius,
+            deadline_ms=args.deadline_ms,
+            hotspot_fraction=args.hotspot_fraction,
+            burst_every_seconds=args.burst_every,
+            burst_size=args.burst_size,
+            slow_client_fraction=args.slow_client_fraction,
+            clients=args.clients,
+        )
+        model = TrafficModel(features, dataset_extent(data, features), workload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    schedule = model.schedule()
+    service = None
+    if args.url:
+        target = HttpTarget(args.url)
+    else:
+        from repro.server import QueryService, ServiceConfig
+
+        service_config = ServiceConfig(
+            admission_queue_depth=args.admission_depth,
+            default_deadline_ms=args.default_deadline_ms,
+        )
+        if args.shards > 1:
+            from repro.sharding import ShardRouter, ShardingConfig
+
+            service = ShardRouter(
+                data,
+                features,
+                service_config=service_config,
+                sharding=ShardingConfig(shards=args.shards),
+            )
+        else:
+            service = QueryService(data, features, config=service_config)
+        service.start()
+        target = ServiceTarget(service)
+    print(
+        f"loadgen: firing {len(schedule)} requests over "
+        f"{workload.duration_seconds:.1f}s ({workload.arrival} arrivals, "
+        f"mean {workload.rate:.0f} rps, {workload.clients} clients) at "
+        f"{args.url or 'in-process service'}",
+        file=sys.stderr,
+    )
+    try:
+        generator = LoadGenerator(schedule, target)
+        ledger = generator.run()
+    finally:
+        if service is not None:
+            service.shutdown()
+        if args.url:
+            target.close()
+    summary = ledger.summary()
+    summary["lost"] = generator.lost
+    if args.url:
+        summary["keepalive"] = target.reuse_stats()
+    if args.ledger:
+        ledger.write_jsonl(args.ledger)
+        print(f"loadgen: per-request ledger written to {args.ledger}",
+              file=sys.stderr)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    counts = summary["counts"]
+    ok = not generator.lost and not counts["error"] and not counts["timeout"]
+    return 0 if ok and summary["reconciled"] else 1
 
 
 # --------------------------------------------------------------------- #
@@ -940,6 +1046,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--algorithm", choices=ALGORITHM_CHOICES, default="espq-sco",
                        help="default algorithm for requests ('auto' engages the "
                             "cost-based planner per query)")
+    serve.add_argument("--admission-depth", type=int, default=0,
+                       help="admission queue depth (max requests admitted but "
+                            "unfinished); beyond it requests are shed with "
+                            "HTTP 429; 0 disables admission control "
+                            "(see docs/traffic.md)")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       help="deadline applied to requests that carry no "
+                            "'deadline_ms' field (admission control only)")
     serve.add_argument("--access-log", action="store_true",
                        help="log one line per HTTP request to stderr")
     _add_backend_arguments(serve)
@@ -999,6 +1113,60 @@ def build_parser() -> argparse.ArgumentParser:
                             help="log one line per HTTP request to stderr")
     _add_backend_arguments(shard_node)
     shard_node.set_defaults(func=_cmd_shard_node)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="fire a seeded open-loop workload at a service "
+             "(see docs/traffic.md)",
+    )
+    loadgen.add_argument("--input", required=True,
+                         help="dataset file (TSV); defines the vocabulary and "
+                              "extent the workload draws from")
+    loadgen.add_argument("--url", default=None,
+                         help="target a running 'repro serve' "
+                              "(default: build an in-process service)")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="in-process mode: front the dataset with a "
+                              "shard router of this many shards")
+    loadgen.add_argument("--admission-depth", type=int, default=0,
+                         help="in-process mode: admission queue depth "
+                              "(0 disables admission control)")
+    loadgen.add_argument("--default-deadline-ms", type=float, default=None,
+                         help="in-process mode: deadline for requests without "
+                              "a 'deadline_ms' field")
+    loadgen.add_argument("--seed", type=int, default=7,
+                         help="workload seed (same seed = identical schedule)")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="schedule length in seconds")
+    loadgen.add_argument("--rate", type=float, default=50.0,
+                         help="mean arrival rate in requests/second")
+    loadgen.add_argument("--arrival", choices=("poisson", "diurnal"),
+                         default="poisson")
+    loadgen.add_argument("--diurnal-amplitude", type=float, default=0.8,
+                         help="relative swing of the diurnal rate in [0, 1)")
+    loadgen.add_argument("--zipf-exponent", type=float, default=1.1,
+                         help="keyword popularity skew (0 = uniform)")
+    loadgen.add_argument("--keywords-per-query", type=int, default=2)
+    loadgen.add_argument("--k", type=int, default=10)
+    loadgen.add_argument("--radius", type=float, default=None,
+                         help="query radius forwarded into every request")
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline forwarded on the wire")
+    loadgen.add_argument("--hotspot-fraction", type=float, default=0.0,
+                         help="share of queries drawn from a seeded hotspot "
+                              "sub-region")
+    loadgen.add_argument("--burst-every", type=float, default=0.0,
+                         help="inject a same-instant burst every N seconds "
+                              "(0 disables)")
+    loadgen.add_argument("--burst-size", type=int, default=0,
+                         help="requests per burst instant")
+    loadgen.add_argument("--slow-client-fraction", type=float, default=0.0,
+                         help="share of clients that trickle request bytes")
+    loadgen.add_argument("--clients", type=int, default=8,
+                         help="simulated client fleet size")
+    loadgen.add_argument("--ledger", default=None,
+                         help="write the per-request JSONL ledger here")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     analyze = subparsers.add_parser("analyze", help="Section 6 analytical tables")
     analyze.add_argument("what", choices=("duplication", "cell-size"))

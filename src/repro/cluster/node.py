@@ -325,6 +325,16 @@ class ShardNodeService:
         return stats
 
     @property
+    def admission(self):
+        """The inner service's admission controller (disabled by default).
+
+        Forwarded so the HTTP front-end's duck-typed fast-shed probe works
+        on a node configured with its own admission queue; a cluster-
+        spawned fleet leaves it disabled and admission-gates at the router.
+        """
+        return self._service.admission
+
+    @property
     def plan(self) -> ShardingPlan:
         """The partitioning plan this node last sliced (full-fleet view)."""
         return self._plan

@@ -62,10 +62,11 @@ from repro.core.engine import (
     EngineConfig,
     validate_algorithm_combination,
 )
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import InvalidQueryError, OverloadError
 from repro.index.delta import DatasetDelta, materialize
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
+from repro.server.admission import AdmissionController
 from repro.server.cache import ResultCache
 from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
@@ -213,6 +214,14 @@ class ClusterRouter:
             self._plan.extent, self._engine_config.grid_size, self._service_config
         )
         self._cache = ResultCache(self.cluster.result_cache_capacity)
+        #: Admission happens once, at the cluster front (the shard-node
+        #: processes run without admission configured): a request admitted
+        #: here is never half-shed by one node of its scatter, and every
+        #: deployment mode sheds with the same 429 contract.
+        self._admission = AdmissionController(
+            queue_depth=self._service_config.admission_queue_depth,
+            default_deadline_ms=self._service_config.default_deadline_ms,
+        )
         self._latency = LatencyHistogram()
         self._counters = _ClusterCounters()
         self._dataset_version = 0
@@ -449,6 +458,37 @@ class ClusterRouter:
             if self._closed:
                 raise RuntimeError("the query service is shut down")
             self._counters.submitted += 1
+        admission = self._admission
+        deadline = admission.resolve_deadline(parsed.deadline_ms)
+        admission.on_arrival(deadline)
+        admission.acquire()
+        try:
+            response = self._serve_admitted(parsed, deadline)
+        except OverloadError:
+            # The gate's queue-expiry check -- or, when someone points the
+            # router at admission-enabled nodes (not the spawned-fleet
+            # default), a 429 relayed by the transport.  Either way the
+            # client sees a 429, so it lands in the shed bucket.
+            admission.release("expired")
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        except BaseException:
+            admission.release("failed")
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        latency = time.monotonic() - started
+        admission.release("completed", latency)
+        self._latency.record(latency)
+        with self._lock:
+            self._counters.completed += 1
+        return response
+
+    def _serve_admitted(
+        self, parsed: ParsedRequest, deadline: Optional[float]
+    ) -> Dict[str, object]:
+        """Gate entry + HTTP scatter-gather for one admitted request."""
         with self._gate:
             while self._paused:
                 self._gate.wait()
@@ -456,19 +496,15 @@ class ClusterRouter:
                 raise RuntimeError("the query service is shut down")
             self._inflight += 1
         try:
-            response = self._serve_gated(parsed)
-        except BaseException:
-            with self._lock:
-                self._counters.failed += 1
-            raise
+            # A fleet-wide swap may have held the gate past the request's
+            # budget; shed explicitly instead of serving a too-late answer.
+            if self._admission.expired_in_queue(deadline):
+                raise self._admission.queue_expiry_error()
+            return self._serve_gated(parsed)
         finally:
             with self._gate:
                 self._inflight -= 1
                 self._gate.notify_all()
-        self._latency.record(time.monotonic() - started)
-        with self._lock:
-            self._counters.completed += 1
-        return response
 
     def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
         """Cache probe + HTTP scatter-gather; runs inside the quiesce gate."""
@@ -885,6 +921,11 @@ class ClusterRouter:
     # introspection
 
     @property
+    def admission(self) -> AdmissionController:
+        """The front-door admission controller (nodes run without one)."""
+        return self._admission
+
+    @property
     def plan(self) -> ShardingPlan:
         """The current partitioning plan (replaced wholesale by hot swaps)."""
         return self._plan
@@ -913,6 +954,7 @@ class ClusterRouter:
                 "degraded_responses": counters.degraded_responses,
             },
             "latency": self._latency.snapshot(),
+            "admission": self._admission.snapshot(),
             "result_cache": {
                 "capacity": self._cache.capacity,
                 "size": len(self._cache),

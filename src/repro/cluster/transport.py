@@ -46,7 +46,7 @@ import urllib.request
 from typing import Dict, Mapping, Optional, Tuple
 from urllib.parse import urlsplit
 
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import InvalidQueryError, OverloadError
 
 #: Environment toggle: ``off``/``0``/``false`` disables connection reuse
 #: and restores the one-shot urllib path (e.g. to bisect a proxy issue).
@@ -217,6 +217,8 @@ def _request_json(
         else:
             connection.close()
         if status >= 400:
+            if status == 429:
+                raise _overload_error(body)
             if status < 500:
                 raise InvalidQueryError(_error_message(body, status))
             raise NodeTransportError(
@@ -242,6 +244,8 @@ def _request_json_oneshot(
     except urllib.error.HTTPError as exc:
         # HTTPError subclasses URLError; it must be handled first.
         body = exc.read()
+        if exc.code == 429:
+            raise _overload_error(body) from exc
         if 400 <= exc.code < 500:
             raise InvalidQueryError(_error_message(body, exc.code)) from exc
         raise NodeTransportError(
@@ -266,6 +270,32 @@ def _decode_json(body: bytes, url: str) -> Dict[str, object]:
             f"node returned a non-object JSON body for {url}"
         )
     return decoded
+
+
+def _overload_error(body: bytes) -> OverloadError:
+    """Rebuild a shed node's :class:`OverloadError` from its 429 body.
+
+    A 429 is not a bad request: folding it into the generic 4xx ->
+    ``InvalidQueryError`` rule would make a shed look like a client bug.
+    It is not retried on a replica either -- overload is a fleet
+    condition, and hammering the other replica of a hot shard makes it
+    worse -- so it propagates to the caller with the shed contract
+    intact.
+    """
+    retry_after_ms = 50.0
+    try:
+        decoded = json.loads(body)
+    except ValueError:
+        decoded = None
+    if isinstance(decoded, dict):
+        value = decoded.get("retry_after_ms")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            retry_after_ms = float(value)
+    return OverloadError(
+        _error_message(body, 429),
+        reason="queue_full",
+        retry_after_ms=retry_after_ms,
+    )
 
 
 def _error_message(body: bytes, code: int) -> str:

@@ -17,6 +17,30 @@ class InvalidQueryError(ReproError):
     """A query was constructed with invalid parameters (k <= 0, r < 0, ...)."""
 
 
+class OverloadError(ReproError):
+    """The service shed a request instead of serving it (HTTP 429).
+
+    Raised by the admission controller when the bounded admission queue
+    is full, when a request arrives with its deadline already blown, or
+    when a queued request's deadline expires before a dispatcher reaches
+    it.  Carries the machine-readable fields of the 429 response body
+    (``{"shed": true, "retry_after_ms": ...}``) so every transport --
+    HTTP front-end, shard router, cluster router -- sheds with the same
+    contract."""
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "overload",
+        retry_after_ms: float = 50.0,
+    ) -> None:
+        super().__init__(message)
+        #: Why the request was shed: ``"queue_full"`` or ``"deadline"``.
+        self.reason = reason
+        #: Client backoff hint in milliseconds (always > 0).
+        self.retry_after_ms = retry_after_ms
+
+
 class InvalidGridError(ReproError):
     """A grid specification is invalid (non-positive cell count, bad extent)."""
 

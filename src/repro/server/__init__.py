@@ -10,6 +10,7 @@ across restarts.  :mod:`repro.server.http` exposes it over stdlib HTTP.
 See ``docs/service.md`` for the quickstart and protocol reference.
 """
 
+from repro.server.admission import AdmissionController, shed_payload
 from repro.server.batching import MicroBatcher, PendingRequest
 from repro.server.cache import ResultCache, ResultCacheStats
 from repro.server.http import QueryHTTPServer, make_server
@@ -23,6 +24,7 @@ from repro.server.protocol import (
 from repro.server.service import QueryService, ServiceConfig
 
 __all__ = [
+    "AdmissionController",
     "LatencyHistogram",
     "MicroBatcher",
     "ParsedRequest",
@@ -36,4 +38,5 @@ __all__ = [
     "make_server",
     "parse_query_spec",
     "result_payload",
+    "shed_payload",
 ]

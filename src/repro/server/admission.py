@@ -1,0 +1,318 @@
+"""Admission control: bounded queueing, deadlines, load shedding.
+
+Under overload an unbounded service does not degrade -- it collapses:
+every queued request eventually times out, so offered load past capacity
+turns goodput into zero.  :class:`AdmissionController` bounds how much
+work a service accepts at once and sheds the rest *explicitly*:
+
+* a **bounded admission queue** -- at most ``queue_depth`` requests may
+  be admitted-but-unfinished at any moment; an arrival past that is shed
+  immediately (:class:`~repro.exceptions.OverloadError`, HTTP 429) with
+  a ``retry_after_ms`` backoff hint instead of waiting toward a timeout;
+* **per-request deadlines** -- a request may carry ``deadline_ms`` on
+  the wire (or inherit ``default_deadline_ms``); one whose budget is
+  already spent on arrival is shed without queueing, and one whose
+  budget expires *while queued* is failed by the dispatcher before it
+  ever touches an engine (work that can no longer be useful is not
+  worth executing);
+* an **SLO tracker** -- goodput / shed / deadline-miss counters plus a
+  :class:`~repro.server.metrics.LatencyHistogram` over *admitted,
+  completed* requests only, exported under ``/stats`` ``"admission"``.
+
+The counters reconcile by construction (everything is counted under one
+lock at its decision point)::
+
+    offered  == admitted + shed_queue_full + shed_deadline
+    admitted == completed + failed + deadline_miss + inflight
+    shed     == shed_queue_full + shed_deadline + deadline_miss
+
+so a load generator can check end-to-end that no request was silently
+dropped: every offered request is accounted as a success, an explicit
+failure, or an explicit 429.
+
+A controller built with ``queue_depth=0`` is *disabled*: every hook is a
+no-op, which is what keeps admission entirely out of the default serving
+path (and out of per-shard services behind a router that admission-gates
+at the front -- one request must be admitted once, not once per shard).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.exceptions import OverloadError
+from repro.server.metrics import LatencyHistogram
+
+#: Bounds of the ``retry_after_ms`` backoff hint.
+MIN_RETRY_AFTER_MS = 1.0
+MAX_RETRY_AFTER_MS = 5000.0
+
+#: Backoff hint before any admitted request has completed (no latency
+#: data to estimate from yet).
+COLD_RETRY_AFTER_MS = 50.0
+
+
+def shed_payload(message: str, retry_after_ms: float) -> Dict[str, object]:
+    """The uniform 429 response body of a shed request.
+
+    Every transport that sheds -- the HTTP front-end, the shard router,
+    the cluster router -- answers with exactly this shape, so clients
+    need one overload-handling path, not one per deployment mode.
+    """
+    return {
+        "error": message,
+        "shed": True,
+        "retry_after_ms": retry_after_ms,
+    }
+
+
+class AdmissionController:
+    """Bounded-admission gate with deadline enforcement and SLO counters.
+
+    Thread-safe: transport threads call :meth:`on_arrival` /
+    :meth:`acquire` / :meth:`release` concurrently with dispatcher
+    threads calling :meth:`expired_in_queue` and stats readers calling
+    :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int = 0,
+        default_deadline_ms: Optional[float] = None,
+    ) -> None:
+        """``queue_depth=0`` disables the controller entirely.
+
+        Raises:
+            ValueError: for a negative depth or a non-positive default
+                deadline.
+        """
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
+        self.queue_depth = queue_depth
+        self.default_deadline_ms = default_deadline_ms
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._offered = 0
+        self._admitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed_queue_full = 0
+        self._shed_deadline = 0
+        self._deadline_miss = 0
+        #: Latency of admitted *and completed* requests only: shed and
+        #: failed requests must not drag the SLO percentiles.
+        self._latency = LatencyHistogram()
+        #: Running mean of admitted latencies for the backoff estimate
+        #: (the histogram does not expose its sum).
+        self._latency_sum = 0.0
+        self._latency_count = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False for a ``queue_depth=0`` controller (every hook no-ops)."""
+        return self.queue_depth > 0
+
+    # ------------------------------------------------------------------ #
+    # deadlines
+
+    def resolve_deadline(self, deadline_ms: Optional[float]) -> Optional[float]:
+        """Absolute monotonic deadline of a request arriving *now*.
+
+        Falls back to ``default_deadline_ms``; returns None when neither
+        is set or the controller is disabled (deadlines are an admission
+        feature -- without admission there is no shed path to honor
+        them with).
+        """
+        if not self.enabled:
+            return None
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
+
+    def expired_in_queue(self, deadline: Optional[float]) -> bool:
+        """Has an admitted request's deadline passed?  (Dispatcher check.)"""
+        return (
+            self.enabled
+            and deadline is not None
+            and time.monotonic() >= deadline
+        )
+
+    def queue_expiry_error(self) -> OverloadError:
+        """The error a dispatcher fails a queue-expired request with."""
+        return OverloadError(
+            "deadline expired while queued; request was never executed",
+            reason="deadline",
+            retry_after_ms=self.retry_after_ms(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission decisions (transport threads)
+
+    def on_arrival(self, deadline: Optional[float]) -> None:
+        """Count one offered request; shed it if its budget is already spent.
+
+        Raises:
+            OverloadError: (reason ``"deadline"``) for a request whose
+                deadline is blown on arrival.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._offered += 1
+            if deadline is None or time.monotonic() < deadline:
+                return
+            self._shed_deadline += 1
+            retry = self._retry_after_ms_locked()
+        raise OverloadError(
+            "deadline already expired on arrival",
+            reason="deadline",
+            retry_after_ms=retry,
+        )
+
+    def acquire(self) -> None:
+        """Take one admission slot, or shed.
+
+        Raises:
+            OverloadError: (reason ``"queue_full"``) when ``queue_depth``
+                requests are already admitted and unfinished.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._inflight < self.queue_depth:
+                self._admitted += 1
+                self._inflight += 1
+                return
+            self._shed_queue_full += 1
+            retry = self._retry_after_ms_locked()
+        raise OverloadError(
+            f"admission queue full ({self.queue_depth} requests in flight)",
+            reason="queue_full",
+            retry_after_ms=retry,
+        )
+
+    def admit_bypass(self) -> None:
+        """Admit a request served without queueing (a result-cache hit).
+
+        Cache hits are goodput -- they count as admitted and completed --
+        but never occupy an admission slot: answering from memory does
+        not contend with the engine pool.  The request was already
+        counted as offered by :meth:`on_arrival`.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._admitted += 1
+            self._completed += 1
+
+    def release(
+        self, outcome: str, latency_seconds: Optional[float] = None
+    ) -> None:
+        """Give back one admission slot with its terminal ``outcome``.
+
+        Outcomes: ``"completed"`` (goodput; ``latency_seconds`` recorded),
+        ``"expired"`` (deadline missed while queued -- an explicit shed),
+        ``"failed"`` (engine error / timeout).
+        """
+        if not self.enabled:
+            return
+        if outcome not in ("completed", "expired", "failed"):
+            raise ValueError(f"unknown admission outcome {outcome!r}")
+        with self._lock:
+            self._inflight -= 1
+            if outcome == "completed":
+                self._completed += 1
+                if latency_seconds is not None:
+                    self._latency_sum += max(latency_seconds, 0.0)
+                    self._latency_count += 1
+            elif outcome == "expired":
+                self._deadline_miss += 1
+            else:
+                self._failed += 1
+        if outcome == "completed" and latency_seconds is not None:
+            self._latency.record(latency_seconds)
+
+    # ------------------------------------------------------------------ #
+    # fast shed (transport probe, before the request body is read)
+
+    def overloaded(self) -> Optional[float]:
+        """``retry_after_ms`` if the queue is full *right now*, else None.
+
+        A pure probe: counts nothing.  The HTTP front-end uses it to
+        answer 429 before even reading the request body; a transport
+        that sheds on it must account the request via
+        :meth:`record_fast_shed`.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            if self._inflight >= self.queue_depth:
+                return self._retry_after_ms_locked()
+        return None
+
+    def record_fast_shed(self) -> None:
+        """Account one request shed by the transport before parsing."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._offered += 1
+            self._shed_queue_full += 1
+
+    # ------------------------------------------------------------------ #
+    # backoff estimate + stats
+
+    def retry_after_ms(self) -> float:
+        """Client backoff hint: ~time for the current queue to drain."""
+        with self._lock:
+            return self._retry_after_ms_locked()
+
+    def _retry_after_ms_locked(self) -> float:
+        if self._latency_count:
+            mean_ms = (self._latency_sum / self._latency_count) * 1000.0
+        else:
+            mean_ms = COLD_RETRY_AFTER_MS
+        estimate = mean_ms * max(1, self._inflight)
+        return min(max(estimate, MIN_RETRY_AFTER_MS), MAX_RETRY_AFTER_MS)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/stats`` ``"admission"`` subtree (counters reconcile)."""
+        with self._lock:
+            shed = (
+                self._shed_queue_full + self._shed_deadline + self._deadline_miss
+            )
+            summary: Dict[str, object] = {
+                "enabled": self.enabled,
+                "queue_depth": self.queue_depth,
+                "default_deadline_ms": self.default_deadline_ms,
+                "inflight": self._inflight,
+                "offered": self._offered,
+                "admitted": self._admitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "shed": shed,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_deadline": self._shed_deadline,
+                "deadline_miss": self._deadline_miss,
+                "goodput": self._completed,
+                "retry_after_ms": self._retry_after_ms_locked(),
+            }
+        # Outside the controller lock: the histogram has its own.
+        summary["latency"] = self._latency.snapshot()
+        return summary
+
+
+__all__ = [
+    "AdmissionController",
+    "COLD_RETRY_AFTER_MS",
+    "MAX_RETRY_AFTER_MS",
+    "MIN_RETRY_AFTER_MS",
+    "shed_payload",
+]

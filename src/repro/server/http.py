@@ -47,9 +47,14 @@ queue, and the dispatcher pool turns their simultaneous requests into
 ``execute_many`` batches.
 
 Error mapping: invalid requests (bad JSON, unknown fields, invalid
-parameters or combinations) are ``400`` with ``{"error": ...}``; unknown
-paths are ``404``; unsupported methods are ``405``; execution failures are
-``500``.  The server never dies on a bad request.
+parameters or combinations) are ``400`` with ``{"error": ...}``; shed
+requests (admission queue full, deadline blown -- ``docs/traffic.md``) are
+``429`` with ``{"error": ..., "shed": true, "retry_after_ms": ...}`` and a
+``Retry-After`` header; unknown paths are ``404``; unsupported methods are
+``405``; execution failures are ``500``.  The server never dies on a bad
+request.  Every error response (429 included) is sent with ``Connection:
+close``: error paths may leave the request body unread, and closing is
+what keeps those unread bytes from desyncing keep-alive framing.
 """
 
 from __future__ import annotations
@@ -60,7 +65,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Mapping, Optional, Tuple
 
-from repro.exceptions import ReproError
+from repro.exceptions import OverloadError, ReproError
+from repro.server.admission import shed_payload
 from repro.server.protocol import batch_lines, error_payload
 from repro.server.service import QueryService
 
@@ -74,6 +80,14 @@ class QueryHTTPServer(ThreadingHTTPServer):
     #: Handler threads die with the process; a stuck connection cannot
     #: block interpreter exit.
     daemon_threads = True
+
+    #: socketserver's default listen backlog is 5.  Overload traffic
+    #: reconnects constantly (every shed closes its connection), and a
+    #: 5-deep SYN backlog answers the excess with kernel resets -- the
+    #: exact silent-drop failure admission control exists to prevent.
+    #: A deeper backlog keeps every connection alive long enough to be
+    #: *told* it is shed.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -194,6 +208,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # endpoints
 
     def _handle_query(self) -> None:
+        admission = getattr(self.server.service, "admission", None)
+        if admission is not None:
+            retry_after = admission.overloaded()
+            if retry_after is not None:
+                # Fast shed: when the admission queue is already full the
+                # request cannot be served whatever its body says, so the
+                # 429 goes out without reading (or even size-checking) the
+                # body.  _send_shed closes the connection, which is what
+                # keeps the unread bytes from desyncing keep-alive framing.
+                admission.record_fast_shed()
+                self._send_shed(shed_payload("admission queue full", retry_after))
+                self._drain_unread_body()
+                return
         body = self._read_body()
         if body is None:
             return
@@ -204,6 +231,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self.server.service.submit(spec)
+        except OverloadError as exc:
+            # Before the generic ReproError -> 400 rule: a shed request is
+            # not a bad request, and the body must carry the shed contract.
+            self._send_shed(shed_payload(str(exc), exc.retry_after_ms))
+            return
         except ReproError as exc:
             self._send_json(400, error_payload(str(exc)))
             return
@@ -223,6 +255,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             payloads = self.server.service.submit_many(specs)
+        except OverloadError as exc:
+            self._send_shed(shed_payload(str(exc), exc.retry_after_ms))
+            return
         except ReproError as exc:
             self._send_json(400, error_payload(str(exc)))
             return
@@ -419,16 +454,74 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
         self._send_text(status, json.dumps(payload), "application/json")
 
+    def _send_shed(self, payload: Mapping[str, object]) -> None:
+        """Answer a shed request: 429, shed body, ``Retry-After`` header.
+
+        The ``Connection: close`` rule of :meth:`_send_text` (every status
+        >= 400) is load-bearing here, not just tidy: the fast-shed path
+        answers *without reading the request body*, and only closing the
+        connection keeps those unread bytes from being parsed as the next
+        request on a keep-alive connection.
+        """
+        retry_after_ms = payload.get("retry_after_ms", 0.0)
+        seconds = max(1, int(round(float(retry_after_ms) / 1000.0)))
+        self._extra_headers = [("Retry-After", str(seconds))]
+        try:
+            self._send_text(429, json.dumps(payload), "application/json")
+        finally:
+            self._extra_headers = []
+
+    #: Extra response headers for the next ``_send_text`` call (the shed
+    #: path's ``Retry-After``); reset after every send.
+    _extra_headers: List[Tuple[str, str]] = []
+
+    #: How long the fast-shed path lingers for a mid-write client's
+    #: remaining body bytes before closing anyway.
+    _drain_timeout_seconds = 2.0
+
+    def _drain_unread_body(self) -> None:
+        """Lingering close: absorb the body a fast-shed never waited for.
+
+        The fast-shed 429 is sent before the request body is read.
+        Closing the socket immediately would answer the client's still-
+        arriving body bytes with a TCP RST -- and an RST can destroy the
+        unread 429 sitting in the client's receive buffer, turning an
+        explicit shed into a connection error.  Reading and discarding
+        the declared body first -- bounded in size by the body cap and in
+        time by a short socket deadline -- lets a mid-write client finish
+        its send, read its 429, and observe a clean FIN.
+        """
+        try:
+            remaining = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return
+        remaining = min(remaining, MAX_BODY_BYTES)
+        if remaining <= 0:
+            return
+        try:
+            self.connection.settimeout(self._drain_timeout_seconds)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+        except OSError:
+            pass
+
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         data = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in self._extra_headers:
+            self.send_header(name, value)
         if status >= 400:
             # Error paths may not have drained the request body (wrong
-            # method, unknown path, oversized Content-Length).  On a
-            # keep-alive connection the leftover bytes would be parsed as
-            # the next request; closing keeps the protocol in sync.
+            # method, unknown path, oversized Content-Length, and -- since
+            # admission control landed -- a fast-shed 429 that deliberately
+            # skips the read).  On a keep-alive connection the leftover
+            # bytes would be parsed as the next request; closing keeps the
+            # protocol in sync.  429 is covered by this same >= 400 rule.
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()

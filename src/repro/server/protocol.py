@@ -9,6 +9,7 @@ format uses, so offline query files replay against a live server verbatim)::
      "algorithm": "espq-sco",          # optional; "auto" plans per query
      "grid_size": 20,                  # optional
      "score_mode": "range",            # optional
+     "deadline_ms": 250,               # optional latency budget (admission)
      "stats": true}                    # optional: attach execution stats
 
 One response is one JSON object::
@@ -31,7 +32,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.scoring import SCORE_MODES
 from repro.exceptions import InvalidQueryError
@@ -60,7 +61,16 @@ STATS_KEYS = (
 #: Request fields the parser understands; anything else is rejected so a
 #: typoed field name ("keyword") fails loudly instead of being ignored.
 REQUEST_FIELDS = frozenset(
-    {"keywords", "k", "radius", "algorithm", "grid_size", "score_mode", "stats"}
+    {
+        "keywords",
+        "k",
+        "radius",
+        "algorithm",
+        "grid_size",
+        "score_mode",
+        "stats",
+        "deadline_ms",
+    }
 )
 
 
@@ -84,10 +94,16 @@ class ParsedRequest:
             overrides set explicitly, never deferring to batch defaults --
             micro-batch composition must not change a request's meaning).
         include_stats: Attach the :data:`STATS_KEYS` subset to the response.
+        deadline_ms: Client latency budget for admission control (None =
+            service default).  Deliberately *not* part of the canonical
+            key: a deadline changes when a request is worth serving, never
+            what its answer is, so requests differing only in deadline
+            share one cache entry.
     """
 
     item: BatchQuery
     include_stats: bool = False
+    deadline_ms: Optional[float] = None
 
     def canonical_key(self, dataset_version: int) -> Tuple[object, ...]:
         """The result-cache key of this request under one dataset snapshot."""
@@ -175,6 +191,20 @@ def parse_query_spec(
     if not isinstance(include_stats, bool):
         raise InvalidQueryError(f"'stats' must be a boolean, got {include_stats!r}")
 
+    deadline_ms = spec.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not math.isfinite(deadline_ms)
+            or deadline_ms <= 0
+        ):
+            raise InvalidQueryError(
+                f"'deadline_ms' must be a positive finite number, "
+                f"got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+
     query = SpatialPreferenceQuery.create(
         k=k, radius=float(radius), keywords=keywords
     )
@@ -186,6 +216,7 @@ def parse_query_spec(
             score_mode=str(score_mode),
         ),
         include_stats=include_stats,
+        deadline_ms=deadline_ms,
     )
 
 

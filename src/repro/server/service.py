@@ -38,11 +38,13 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.core.centralized import dataset_extent
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig, SPQEngine
 from repro.datagen.queries import radius_from_cell_fraction
+from repro.exceptions import OverloadError
 from repro.model.objects import DataObject, FeatureObject
 from repro.index.cache import IndexCache
 from repro.index.delta import DatasetDelta
 from repro.planner.core import PlannerConfig, QueryPlanner, resolve_planner_mode
 from repro.planner.persistence import save_calibration, try_restore_calibration
+from repro.server.admission import AdmissionController
 from repro.server.batching import MicroBatcher, PendingRequest
 from repro.server.cache import ResultCache
 from repro.server.metrics import LatencyHistogram
@@ -110,6 +112,15 @@ class ServiceConfig:
             folds it into a fresh base snapshot.  0 (the default) disables
             auto-compaction; :meth:`QueryService.compact` stays available
             either way.
+        admission_queue_depth: Bounded admission queue: at most this many
+            requests may be admitted-but-unfinished at once; arrivals past
+            the bound are shed with :class:`~repro.exceptions.OverloadError`
+            (HTTP 429) instead of queueing toward a timeout.  0 (the
+            default) disables admission control entirely
+            (``docs/traffic.md``).
+        default_deadline_ms: Latency budget applied to requests that carry
+            no ``deadline_ms`` of their own; only honored while admission
+            control is enabled.  None (the default) means no deadline.
         default_k / default_radius / default_radius_fraction /
             default_algorithm / default_grid_size: Applied to request fields
             the client leaves unset.  A None ``default_radius`` derives one
@@ -127,6 +138,8 @@ class ServiceConfig:
     checkpoint_interval_seconds: float = 0.0
     request_timeout_seconds: float = 60.0
     compact_threshold: int = 0
+    admission_queue_depth: int = 0
+    default_deadline_ms: Optional[float] = None
     default_k: int = 10
     default_radius: Optional[float] = None
     default_radius_fraction: float = 0.10
@@ -165,6 +178,10 @@ class _PendingPayload:
     parsed: ParsedRequest
     #: Submission timestamp (``time.monotonic``) for the latency histogram.
     submitted_monotonic: float = 0.0
+    #: Absolute monotonic deadline (None = no deadline).  The dispatcher
+    #: checks it before executing: a request whose budget expired while
+    #: queued is failed without ever touching an engine.
+    deadline_monotonic: Optional[float] = None
 
 
 class QueryService:
@@ -235,6 +252,10 @@ class QueryService:
             for _ in range(self.config.engines)
         ]
         self._result_cache = ResultCache(self.config.result_cache_capacity)
+        self._admission = AdmissionController(
+            queue_depth=self.config.admission_queue_depth,
+            default_deadline_ms=self.config.default_deadline_ms,
+        )
         self._batcher = MicroBatcher(
             self._execute_batch,
             workers=self.config.engines,
@@ -634,6 +655,9 @@ class QueryService:
 
         Raises:
             InvalidQueryError: for an invalid request.
+            OverloadError: when admission control sheds the request (queue
+                full, or deadline blown on arrival / while queued); maps
+                to HTTP 429.
             RuntimeError: when the service is not started or already shut
                 down.
             TimeoutError: when no dispatcher answers within the configured
@@ -650,6 +674,11 @@ class QueryService:
         All requests are validated up front (the whole batch is rejected if
         any is invalid, mirroring ``execute_many``), then enqueued together
         so they can share micro-batches.
+
+        Batch submission is a trusted bulk surface (offline replay, the
+        ``repro batch`` path) and bypasses admission control: shedding
+        individual requests out of an all-or-nothing batch would break its
+        contract.  Interactive traffic goes through :meth:`submit`.
         """
         parsed_list = [self._parse(spec) for spec in specs]
         pendings: List[Optional[PendingRequest]] = []
@@ -678,11 +707,32 @@ class QueryService:
 
     def _serve(self, parsed: ParsedRequest) -> Dict[str, object]:
         started = time.monotonic()
+        admission = self._admission
+        deadline = admission.resolve_deadline(parsed.deadline_ms)
+        # Admission order: deadline first (a blown budget sheds without
+        # consuming anything), then the cache (hits are goodput and never
+        # occupy a slot), then the bounded queue.  With admission disabled
+        # (queue_depth=0) every hook is a no-op and this is the classic
+        # lookup-or-enqueue path.
+        admission.on_arrival(deadline)
         hit = self._lookup(parsed)
         if hit is not None:
             self._latency.record(time.monotonic() - started)
+            admission.admit_bypass()
             return hit
-        return self._await(self._enqueue(parsed, started))
+        admission.acquire()
+        try:
+            response = self._await(self._enqueue(parsed, started, deadline))
+        except OverloadError:
+            # Only the dispatcher's queue-expiry failure reaches here: the
+            # request was admitted, then its deadline passed while queued.
+            admission.release("expired")
+            raise
+        except BaseException:
+            admission.release("failed")
+            raise
+        admission.release("completed", time.monotonic() - started)
+        return response
 
     def _lookup(self, parsed: ParsedRequest) -> Optional[Dict[str, object]]:
         with self._lock:
@@ -713,9 +763,18 @@ class QueryService:
             self._delta.snapshot().version,
         )
 
-    def _enqueue(self, parsed: ParsedRequest, started: float) -> PendingRequest:
+    def _enqueue(
+        self,
+        parsed: ParsedRequest,
+        started: float,
+        deadline: Optional[float] = None,
+    ) -> PendingRequest:
         return self._batcher.submit(
-            _PendingPayload(parsed=parsed, submitted_monotonic=started)
+            _PendingPayload(
+                parsed=parsed,
+                submitted_monotonic=started,
+                deadline_monotonic=deadline,
+            )
         )
 
     def _await(self, pending: PendingRequest) -> Dict[str, object]:
@@ -759,6 +818,25 @@ class QueryService:
         self, worker_index: int, batch: Sequence[PendingRequest]
     ) -> None:
         engine = self._engines[worker_index]
+        admission = self._admission
+        if admission.enabled:
+            # Deadline enforcement at the last responsible moment: a
+            # request whose budget expired while it waited is failed here,
+            # *before* the engine runs -- its answer could no longer be
+            # useful, and executing it would steal capacity from requests
+            # that can still meet their deadlines.  Expired requests never
+            # reach the engine, so they feed neither the result cache nor
+            # the planner's calibration.
+            live: List[PendingRequest] = []
+            for pending in batch:
+                payload: _PendingPayload = pending.payload  # type: ignore[assignment]
+                if admission.expired_in_queue(payload.deadline_monotonic):
+                    pending.fail(admission.queue_expiry_error())
+                else:
+                    live.append(pending)
+            if not live:
+                return
+            batch = live
         payloads: List[_PendingPayload] = [p.payload for p in batch]  # type: ignore[misc]
         # The cache key embeds the dataset version *at execution time* (it
         # cannot change mid-batch: swaps wait for in-flight batches) plus
@@ -831,6 +909,7 @@ class QueryService:
                 "size": len(self._result_cache),
                 **self._result_cache.stats.as_dict(),
             },
+            "admission": self._admission.snapshot(),
             "index_cache": self._index_cache.stats.as_dict(),
             "engines": {
                 "count": len(self._engines),
@@ -875,6 +954,17 @@ class QueryService:
             }
         stats["planner"] = planner_stats
         return stats
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller (disabled when ``queue_depth=0``).
+
+        The HTTP front-end duck-types on this attribute for its fast-shed
+        probe (answer 429 before reading the body when the queue is full);
+        routers expose their own controller under the same name so every
+        deployment mode sheds with one contract.
+        """
+        return self._admission
 
     @property
     def planner(self) -> Optional[QueryPlanner]:

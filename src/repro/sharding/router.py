@@ -50,11 +50,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import ALGORITHM_CHOICES, EngineConfig
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import InvalidQueryError, OverloadError
 from repro.index.delta import DatasetDelta, materialize
 from repro.model.objects import DataObject, FeatureObject
 from repro.model.result import QueryResult, ScoredObject, merge_top_k
 from repro.planner.persistence import scoped_calibration_path
+from repro.server.admission import AdmissionController
 from repro.server.cache import ResultCache
 from repro.server.metrics import LatencyHistogram
 from repro.server.protocol import ParsedRequest, parse_query_spec, result_payload
@@ -204,6 +205,14 @@ class ShardRouter:
             self._plan.extent, self._engine_config.grid_size, self._service_config
         )
         self._cache = ResultCache(self._service_config.result_cache_capacity)
+        #: Admission happens once, at the router: the per-shard services
+        #: run with admission disabled (see ``_shard_service_config``), so
+        #: a request admitted here can never be half-shed by one shard of
+        #: its scatter.  Same 429 contract as an unsharded service.
+        self._admission = AdmissionController(
+            queue_depth=self._service_config.admission_queue_depth,
+            default_deadline_ms=self._service_config.default_deadline_ms,
+        )
         self._latency = LatencyHistogram()
         self._counters = _RouterCounters()
         self._dataset_version = 0
@@ -246,7 +255,16 @@ class ShardRouter:
         return [], []
 
     def _shard_service_config(self, shard_id: int) -> ServiceConfig:
-        config = dataclasses.replace(self._service_config, result_cache_capacity=0)
+        # Shards disable their result caches (the router caches merged
+        # responses) and their admission control (the router admission-
+        # gates the front; a shard shedding one leg of a scatter would
+        # tear the merged answer).
+        config = dataclasses.replace(
+            self._service_config,
+            result_cache_capacity=0,
+            admission_queue_depth=0,
+            default_deadline_ms=None,
+        )
         if config.calibration_path:
             config = dataclasses.replace(
                 config,
@@ -392,6 +410,36 @@ class ShardRouter:
             if self._closed:
                 raise RuntimeError("the query service is shut down")
             self._counters.submitted += 1
+        admission = self._admission
+        deadline = admission.resolve_deadline(parsed.deadline_ms)
+        admission.on_arrival(deadline)
+        admission.acquire()
+        try:
+            response = self._serve_admitted(parsed, deadline)
+        except OverloadError:
+            # Only the gate's queue-expiry check raises this past
+            # admission: the request was admitted, then its deadline
+            # passed while waiting at the (possibly swap-paused) gate.
+            admission.release("expired")
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        except BaseException:
+            admission.release("failed")
+            with self._lock:
+                self._counters.failed += 1
+            raise
+        latency = time.monotonic() - started
+        admission.release("completed", latency)
+        self._latency.record(latency)
+        with self._lock:
+            self._counters.completed += 1
+        return response
+
+    def _serve_admitted(
+        self, parsed: ParsedRequest, deadline: Optional[float]
+    ) -> Dict[str, object]:
+        """Gate entry + scatter-gather for one admitted request."""
         with self._gate:
             while self._paused:
                 self._gate.wait()
@@ -402,19 +450,18 @@ class ShardRouter:
                 raise RuntimeError("the query service is shut down")
             self._inflight += 1
         try:
-            response = self._serve_gated(parsed)
-        except BaseException:
-            with self._lock:
-                self._counters.failed += 1
-            raise
+            # A swap may have held the gate long enough to blow the
+            # request's budget; shedding it here (explicit 429) instead of
+            # serving a too-late answer is what "quiesce under overload
+            # loses nothing" means -- every request still gets a definite
+            # outcome.
+            if self._admission.expired_in_queue(deadline):
+                raise self._admission.queue_expiry_error()
+            return self._serve_gated(parsed)
         finally:
             with self._gate:
                 self._inflight -= 1
                 self._gate.notify_all()
-        self._latency.record(time.monotonic() - started)
-        with self._lock:
-            self._counters.completed += 1
-        return response
 
     def _serve_gated(self, parsed: ParsedRequest) -> Dict[str, object]:
         """Cache probe + scatter-gather; runs inside the quiesce gate."""
@@ -934,6 +981,11 @@ class ShardRouter:
     # introspection
 
     @property
+    def admission(self) -> AdmissionController:
+        """The router-level admission controller (shards run without one)."""
+        return self._admission
+
+    @property
     def plan(self) -> ShardingPlan:
         """The current sharding plan (replaced wholesale by hot swaps)."""
         return self._plan
@@ -990,6 +1042,7 @@ class ShardRouter:
                 "result_cache_hits": counters.cache_hits,
             },
             "latency": self._latency.snapshot(),
+            "admission": self._admission.snapshot(),
             "result_cache": {
                 "capacity": self._cache.capacity,
                 "size": len(self._cache),

@@ -1,0 +1,45 @@
+"""Traffic lab: seeded open-loop workload models and a client fleet.
+
+:mod:`repro.traffic.workload` turns a dataset (its vocabulary and extent)
+plus a :class:`~repro.traffic.workload.WorkloadConfig` into a
+*deterministic request schedule*: Poisson or diurnal arrival processes,
+Zipf keyword popularity, hotspot query regions, burst and slow-client
+profiles -- same seed, same schedule, byte for byte.
+
+:mod:`repro.traffic.loadgen` fires such a schedule at a service
+*open-loop*: send times come from the schedule alone, never from response
+latencies, which is what makes offered load an independent variable and
+overload measurable (a closed-loop client slows down exactly when the
+server does, hiding the very collapse you are trying to observe).  Every
+request's outcome lands in a :class:`~repro.traffic.loadgen.ResultsLedger`
+that reconciles against the service's admission counters.
+
+See ``docs/traffic.md`` for the models, the open- vs closed-loop
+rationale, and the admission-control semantics this harness exercises.
+"""
+
+from repro.traffic.loadgen import (
+    HttpTarget,
+    LoadGenerator,
+    RequestRecord,
+    ResultsLedger,
+    ServiceTarget,
+)
+from repro.traffic.workload import (
+    ARRIVAL_CHOICES,
+    ScheduledRequest,
+    TrafficModel,
+    WorkloadConfig,
+)
+
+__all__ = [
+    "ARRIVAL_CHOICES",
+    "HttpTarget",
+    "LoadGenerator",
+    "RequestRecord",
+    "ResultsLedger",
+    "ScheduledRequest",
+    "ServiceTarget",
+    "TrafficModel",
+    "WorkloadConfig",
+]

@@ -1,0 +1,457 @@
+"""Open-loop client fleet: fire a schedule, never wait on the server.
+
+The defining property of this generator is the **open-loop invariant**:
+request *i* is sent at ``schedule[i].send_at`` no matter how long earlier
+requests are taking.  Each request runs on its own thread, so a slow (or
+sheddding, or hung) server cannot push later send times back -- offered
+load stays an independent variable, which is the whole point of an
+overload experiment (a closed-loop client backs off exactly when the
+server degrades, and the collapse you wanted to measure disappears from
+the data).
+
+Two targets are provided:
+
+* :class:`ServiceTarget` drives any in-process service or router through
+  ``submit()`` -- :class:`~repro.exceptions.OverloadError` maps to a
+  ``"shed"`` outcome, everything else surfacing as ``"error"``.
+* :class:`HttpTarget` drives ``repro serve`` over HTTP/1.1 with a
+  per-client keep-alive connection pool.  Because requests are fired on
+  per-request threads, one simulated client can legitimately have
+  several requests in flight; the pool hands out idle connections and
+  opens fresh ones when none are idle, counting opens vs. requests so
+  benchmarks can gate on the keep-alive reuse ratio.  A 429 becomes a
+  ``"shed"`` outcome (with the body's ``retry_after_ms``), a socket
+  deadline a ``"timeout"``, anything else non-200 an ``"error"``.
+
+Every fired request lands in a thread-safe :class:`ResultsLedger` as a
+:class:`RequestRecord`; :meth:`ResultsLedger.summary` reconciles the
+ledger (every scheduled request accounted for, outcome counts summing to
+the offered count) so a silent drop anywhere in the stack shows up as a
+hard count mismatch rather than a quietly-thinner percentile.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+from urllib.parse import urlsplit
+
+from repro.exceptions import OverloadError
+from repro.traffic.workload import ScheduledRequest
+
+#: Every outcome a fired request can have.
+OUTCOMES = ("ok", "shed", "error", "timeout")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """What happened to one scheduled request.
+
+    Attributes:
+        index: The schedule index this record answers for.
+        client: Simulated client id.
+        profile: The schedule's profile tag.
+        scheduled_at: Planned send offset (seconds from run start).
+        sent_at: Actual send offset; ``sent_at - scheduled_at`` is
+            scheduler lag, *not* server latency (open loop).
+        latency_seconds: Wall time from send to outcome.
+        outcome: One of :data:`OUTCOMES`.
+        status: HTTP status when the target speaks HTTP (429 for sheds).
+        retry_after_ms: The shed body's backoff hint (sheds only).
+        cached: True when the service answered from its result cache.
+        error: Human-readable failure detail (errors/timeouts only).
+    """
+
+    index: int
+    client: int
+    profile: str
+    scheduled_at: float
+    sent_at: float
+    latency_seconds: float
+    outcome: str
+    status: Optional[int] = None
+    retry_after_ms: Optional[float] = None
+    cached: bool = False
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SendResult:
+    """A target's verdict for one request (latency is measured outside)."""
+
+    outcome: str
+    status: Optional[int] = None
+    retry_after_ms: Optional[float] = None
+    cached: bool = False
+    error: Optional[str] = None
+
+
+class ResultsLedger:
+    """Thread-safe collection of :class:`RequestRecord`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[RequestRecord] = []
+
+    def add(self, record: RequestRecord) -> None:
+        """Append one record (called from per-request threads)."""
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """All records, sorted by schedule index."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: r.index)
+
+    def counts(self) -> Dict[str, int]:
+        """Outcome -> count over every recorded request."""
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """Counts, goodput and admitted-latency percentiles, reconciled.
+
+        ``reconciled`` is True iff the outcome counts sum to the number
+        of records -- the ledger-side half of the no-silent-drops
+        invariant (the schedule-side half is checking ``offered`` against
+        the schedule length, which only the caller knows).
+        """
+        records = self.records
+        counts = self.counts()
+        ok_latencies = sorted(
+            r.latency_seconds for r in records if r.outcome == "ok"
+        )
+        span = 0.0
+        if records:
+            first = min(r.sent_at for r in records)
+            last = max(r.sent_at + r.latency_seconds for r in records)
+            span = max(last - first, 1e-9)
+        summary: Dict[str, object] = {
+            "offered": len(records),
+            "counts": counts,
+            "reconciled": sum(counts.values()) == len(records),
+            "goodput_rps": counts["ok"] / span if records else 0.0,
+            "span_seconds": span,
+        }
+        if ok_latencies:
+            summary["ok_latency_ms"] = {
+                "p50": _percentile(ok_latencies, 0.50) * 1000.0,
+                "p90": _percentile(ok_latencies, 0.90) * 1000.0,
+                "p99": _percentile(ok_latencies, 0.99) * 1000.0,
+                "max": ok_latencies[-1] * 1000.0,
+            }
+        sheds = [r.retry_after_ms for r in records if r.outcome == "shed"]
+        if sheds:
+            summary["shed_retry_after_ms_max"] = max(
+                value for value in sheds if value is not None
+            )
+        return summary
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump one JSON object per record (the per-request raw ledger)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.__dict__, sort_keys=True))
+                handle.write("\n")
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    index = min(int(fraction * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+# --------------------------------------------------------------------- #
+# targets
+
+
+class ServiceTarget:
+    """Drive an in-process service/router through its ``submit()``."""
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def send(
+        self, spec: Mapping[str, object], client: int, profile: str
+    ) -> SendResult:
+        """Submit one spec; fold exceptions into the outcome taxonomy."""
+        try:
+            payload = self._service.submit(dict(spec))
+        except OverloadError as exc:
+            return SendResult(
+                "shed",
+                status=429,
+                retry_after_ms=exc.retry_after_ms,
+                error=str(exc),
+            )
+        except TimeoutError as exc:
+            return SendResult("timeout", error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - ledger wants every failure
+            return SendResult(
+                "error", error=f"{type(exc).__name__}: {exc}"
+            )
+        return SendResult(
+            "ok", status=200, cached=bool(payload.get("cached", False))
+        )
+
+
+class HttpTarget:
+    """Drive ``repro serve`` over HTTP with per-client keep-alive pools.
+
+    ``connections_opened`` vs. ``requests_sent`` is the keep-alive
+    measurement: a healthy server with working persistent connections
+    serves many requests per opened connection even under a concurrent
+    open-loop fleet.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_seconds: float = 30.0,
+        slow_stall_seconds: float = 0.05,
+    ) -> None:
+        """Parse the target address and set up empty per-client pools.
+
+        Args:
+            base_url: e.g. ``http://127.0.0.1:8080``.
+            timeout_seconds: Socket deadline per request (bounds how long
+                a fired thread can live; open loop means nothing else
+                waits on it).
+            slow_stall_seconds: How long a ``"slow"``-profile request
+                pauses between its first byte and the rest of its body.
+        """
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.netloc:
+            raise ValueError(f"base_url must be http://host:port, got {base_url!r}")
+        self._netloc = parts.netloc
+        self._timeout = timeout_seconds
+        self._slow_stall = slow_stall_seconds
+        self._lock = threading.Lock()
+        self._pools: Dict[int, List[http.client.HTTPConnection]] = {}
+        self.connections_opened = 0
+        self.requests_sent = 0
+
+    # connection pool ------------------------------------------------- #
+
+    def _checkout(self, client: int) -> http.client.HTTPConnection:
+        with self._lock:
+            pool = self._pools.setdefault(client, [])
+            if pool:
+                return pool.pop()
+            self.connections_opened += 1
+        connection = http.client.HTTPConnection(
+            self._netloc, timeout=self._timeout
+        )
+        return connection
+
+    def _checkin(self, client: int, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            self._pools.setdefault(client, []).append(connection)
+
+    def close(self) -> None:
+        """Close every pooled connection (end of a run)."""
+        with self._lock:
+            pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            for connection in pool:
+                connection.close()
+
+    def reuse_stats(self) -> Dict[str, float]:
+        """Requests per opened connection -- the keep-alive ratio."""
+        with self._lock:
+            opened = self.connections_opened
+            requests = self.requests_sent
+        return {
+            "requests": requests,
+            "opened": opened,
+            "reuse_ratio": requests / opened if opened else 0.0,
+        }
+
+    # sending ---------------------------------------------------------- #
+
+    def send(
+        self, spec: Mapping[str, object], client: int, profile: str
+    ) -> SendResult:
+        """POST one spec to ``/query``; fold the response into an outcome."""
+        body = json.dumps(dict(spec)).encode("utf-8")
+        connection = self._checkout(client)
+        with self._lock:
+            self.requests_sent += 1
+        try:
+            if profile == "slow" and len(body) > 1:
+                # Trickle the body: headers + first byte, stall, rest.
+                # Exercises the server against half-written requests
+                # (the fast-shed path answers before reading the body).
+                connection.putrequest("POST", "/query")
+                connection.putheader("Content-Type", "application/json")
+                connection.putheader("Content-Length", str(len(body)))
+                connection.endheaders()
+                connection.send(body[:1])
+                time.sleep(self._slow_stall)
+                connection.send(body[1:])
+            else:
+                connection.request(
+                    "POST",
+                    "/query",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+            keep = not response.will_close
+        except TimeoutError as exc:
+            connection.close()
+            return SendResult("timeout", error=f"socket deadline: {exc}")
+        except (http.client.HTTPException, OSError) as exc:
+            connection.close()
+            return SendResult(
+                "error", error=f"{type(exc).__name__}: {exc}"
+            )
+        if keep:
+            self._checkin(client, connection)
+        else:
+            connection.close()
+        return self._classify(status, raw)
+
+    @staticmethod
+    def _classify(status: int, raw: bytes) -> SendResult:
+        try:
+            decoded = json.loads(raw)
+        except ValueError:
+            decoded = None
+        payload = decoded if isinstance(decoded, dict) else {}
+        if status == 200:
+            return SendResult(
+                "ok", status=200, cached=bool(payload.get("cached", False))
+            )
+        if status == 429:
+            # The shed contract: an explicit JSON body with shed=true and
+            # a retry hint.  A malformed 429 still counts as a shed (the
+            # client saw an explicit rejection) but carries the defect in
+            # its error field so the bench's contract check can fail it.
+            retry_after = payload.get("retry_after_ms")
+            if not isinstance(retry_after, (int, float)) or isinstance(
+                retry_after, bool
+            ):
+                retry_after = None
+            error = None
+            if payload.get("shed") is not True or retry_after is None:
+                error = f"malformed shed body: {raw[:200]!r}"
+            return SendResult(
+                "shed",
+                status=429,
+                retry_after_ms=(
+                    float(retry_after) if retry_after is not None else None
+                ),
+                error=error,
+            )
+        return SendResult(
+            "error",
+            status=status,
+            error=f"HTTP {status}: {raw[:200]!r}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# the generator
+
+
+class LoadGenerator:
+    """Fire a schedule open-loop at a target, one thread per request."""
+
+    def __init__(
+        self,
+        schedule: Sequence[ScheduledRequest],
+        target,
+        drain_timeout_seconds: float = 120.0,
+    ) -> None:
+        """Bind a schedule to a target.
+
+        Args:
+            schedule: The requests to fire (any order; sorted here).
+            target: :class:`ServiceTarget`, :class:`HttpTarget`, or any
+                object with the same ``send(spec, client, profile)``.
+            drain_timeout_seconds: How long :meth:`run` waits for
+                straggler request threads after the last send before
+                giving up on them (they are counted, never dropped
+                silently -- see ``lost`` in the run result).
+        """
+        self._schedule = sorted(schedule, key=lambda r: (r.send_at, r.index))
+        self._target = target
+        self._drain_timeout = drain_timeout_seconds
+        self.ledger = ResultsLedger()
+        #: Threads the drain timeout abandoned (0 in a healthy run).
+        self.lost = 0
+
+    def run(self) -> ResultsLedger:
+        """Fire the whole schedule; return the filled ledger.
+
+        The scheduler thread only ever sleeps until the next send time
+        and spawns a sender thread -- it never waits on a response, so a
+        degraded server cannot slow the offered load down.
+        """
+        origin = time.monotonic()
+        threads: List[threading.Thread] = []
+        for request in self._schedule:
+            delay = (origin + request.send_at) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            thread = threading.Thread(
+                target=self._fire,
+                args=(request, origin),
+                daemon=True,
+                name=f"loadgen-{request.index}",
+            )
+            thread.start()
+            threads.append(thread)
+        deadline = time.monotonic() + self._drain_timeout
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.lost = sum(1 for thread in threads if thread.is_alive())
+        return self.ledger
+
+    def _fire(self, request: ScheduledRequest, origin: float) -> None:
+        sent_at = time.monotonic() - origin
+        started = time.monotonic()
+        try:
+            result = self._target.send(
+                request.spec, client=request.client, profile=request.profile
+            )
+        except Exception as exc:  # noqa: BLE001 - a target bug is an error outcome
+            result = SendResult(
+                "error", error=f"target raised {type(exc).__name__}: {exc}"
+            )
+        latency = time.monotonic() - started
+        self.ledger.add(
+            RequestRecord(
+                index=request.index,
+                client=request.client,
+                profile=request.profile,
+                scheduled_at=request.send_at,
+                sent_at=sent_at,
+                latency_seconds=latency,
+                outcome=result.outcome,
+                status=result.status,
+                retry_after_ms=result.retry_after_ms,
+                cached=result.cached,
+                error=result.error,
+            )
+        )
+
+
+__all__ = [
+    "OUTCOMES",
+    "HttpTarget",
+    "LoadGenerator",
+    "RequestRecord",
+    "ResultsLedger",
+    "SendResult",
+    "ServiceTarget",
+]

@@ -1,0 +1,398 @@
+"""Seeded open-loop workload models emitting deterministic schedules.
+
+A :class:`TrafficModel` binds a dataset (its feature vocabulary and
+spatial extent) to a :class:`WorkloadConfig` and emits a list of
+:class:`ScheduledRequest` -- each one a *send time* plus a ready-to-POST
+request spec.  The schedule is a pure function of the seed: the arrival
+process, keyword choices, hotspot placement, client assignment and
+burst/slow tagging all draw from seeded, purpose-labelled PRNG streams,
+so two runs with the same config produce byte-identical schedules and a
+benchmark regression is a real regression, not workload noise.
+
+The models:
+
+* **Arrivals** -- ``poisson`` draws exponential inter-arrival gaps at the
+  configured mean rate (the classic open-loop arrival process: memoryless,
+  bursty at every timescale).  ``diurnal`` modulates that rate
+  sinusoidally over ``diurnal_period_seconds`` via thinning: candidates
+  are drawn at the peak rate and accepted with probability
+  ``rate(t) / rate_max``, giving a rush-hour/quiet-hour profile whose
+  long-run mean over whole periods is still ``rate``.
+* **Keyword popularity** -- Zipf over the dataset vocabulary: word of
+  frequency-rank *r* is drawn with weight ``1 / r**zipf_exponent``, with
+  ranks taken from :meth:`Vocabulary.most_frequent` so synthetic
+  popularity tracks real dataset skew.  Exponent 0 degrades to uniform.
+* **Hotspot regions** -- a seeded sub-box covering
+  ``hotspot_extent_fraction`` of each extent side; a
+  ``hotspot_fraction`` share of queries draws its keywords Zipf-style
+  from only the features inside that box, concentrating load the way a
+  city centre concentrates map queries.
+* **Burst profile** -- every ``burst_every_seconds`` an extra group of
+  ``burst_size`` requests is injected at the *same* instant (profile
+  ``"burst"``), stressing the admission queue beyond what Poisson noise
+  produces.
+* **Slow clients** -- a seeded ``slow_client_fraction`` share of the
+  client fleet is tagged ``"slow"``; the load generator trickles those
+  requests' bytes onto the socket to exercise the server's fast-shed
+  path against half-written requests.
+
+Every emitted spec round-trips through
+:func:`repro.server.protocol.parse_query_spec` -- the model cannot emit a
+request the service would reject as malformed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.model.objects import FeatureObject
+from repro.spatial.geometry import BoundingBox
+from repro.text.vocabulary import Vocabulary
+
+#: Supported arrival processes.
+ARRIVAL_CHOICES = ("poisson", "diurnal")
+
+#: Request profiles a schedule can tag.
+PROFILES = ("steady", "burst", "slow")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One planned request: when to send it, what to send, who sends it.
+
+    Attributes:
+        index: Position in the schedule (0-based, send order).
+        send_at: Offset in seconds from schedule start; the load
+            generator fires at this time regardless of response latency
+            (the open-loop invariant).
+        spec: The JSON-ready request object (keywords, k, optionally
+            radius/algorithm/deadline_ms).
+        client: Which simulated client sends it (0-based fleet id).
+        profile: ``"steady"``, ``"burst"`` or ``"slow"``.
+    """
+
+    index: int
+    send_at: float
+    spec: Mapping[str, object]
+    client: int
+    profile: str
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of one synthetic traffic mix (all defaults are mild).
+
+    Attributes:
+        seed: Master seed; every PRNG stream below derives from it.
+        duration_seconds: Length of the schedule.
+        rate: Mean arrival rate in requests/second.
+        arrival: ``"poisson"`` or ``"diurnal"``.
+        diurnal_amplitude: Relative swing of the diurnal rate in [0, 1):
+            peak ``rate*(1+a)``, trough ``rate*(1-a)``.
+        diurnal_period_seconds: Full day-cycle length (defaults to the
+            schedule duration, i.e. exactly one cycle).
+        zipf_exponent: Skew of keyword popularity (0 = uniform).
+        keywords_per_query: Distinct keywords per request (capped at the
+            vocabulary size).
+        k: Top-k of every request.
+        radius: Optional query radius forwarded into every spec.
+        algorithm: Optional algorithm pin forwarded into every spec.
+        deadline_ms: Optional per-request deadline forwarded into every
+            spec (the admission-control wire field).
+        hotspot_fraction: Share of queries drawn from the hotspot in
+            [0, 1]; 0 disables the hotspot entirely.
+        hotspot_extent_fraction: Hotspot side length as a fraction of
+            each extent side, in (0, 1].
+        burst_every_seconds: Burst cadence; 0 disables bursts.
+        burst_size: Requests injected per burst instant.
+        slow_client_fraction: Share of clients tagged slow in [0, 1].
+        clients: Size of the simulated client fleet.
+    """
+
+    seed: int = 7
+    duration_seconds: float = 5.0
+    rate: float = 50.0
+    arrival: str = "poisson"
+    diurnal_amplitude: float = 0.8
+    diurnal_period_seconds: Optional[float] = None
+    zipf_exponent: float = 1.1
+    keywords_per_query: int = 2
+    k: int = 10
+    radius: Optional[float] = None
+    algorithm: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    hotspot_fraction: float = 0.0
+    hotspot_extent_fraction: float = 0.25
+    burst_every_seconds: float = 0.0
+    burst_size: int = 0
+    slow_client_fraction: float = 0.0
+    clients: int = 8
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any out-of-range knob."""
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.arrival not in ARRIVAL_CHOICES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_CHOICES}, got {self.arrival!r}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period_seconds is not None and (
+            self.diurnal_period_seconds <= 0
+        ):
+            raise ValueError("diurnal_period_seconds must be positive")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if self.keywords_per_query < 1:
+            raise ValueError("keywords_per_query must be at least 1")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if not 0 <= self.hotspot_fraction <= 1:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if not 0 < self.hotspot_extent_fraction <= 1:
+            raise ValueError("hotspot_extent_fraction must be in (0, 1]")
+        if self.burst_every_seconds < 0:
+            raise ValueError("burst_every_seconds must be non-negative")
+        if self.burst_size < 0:
+            raise ValueError("burst_size must be non-negative")
+        if not 0 <= self.slow_client_fraction <= 1:
+            raise ValueError("slow_client_fraction must be in [0, 1]")
+        if self.clients < 1:
+            raise ValueError("clients must be at least 1")
+
+
+class TrafficModel:
+    """Seeded workload model over one dataset's vocabulary and extent."""
+
+    def __init__(
+        self,
+        feature_objects: Sequence[FeatureObject],
+        extent: BoundingBox,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        """Rank the vocabulary and place the hotspot (both seeded).
+
+        Args:
+            feature_objects: The dataset's feature objects; their
+                keywords define the vocabulary queries draw from.
+            extent: The dataset's spatial extent (hotspot placement).
+            config: Workload knobs (validated here).
+
+        Raises:
+            ValueError: for invalid knobs or an empty vocabulary.
+        """
+        self.config = config or WorkloadConfig()
+        self.config.validate()
+        self.extent = extent
+        vocabulary = Vocabulary.from_features(feature_objects)
+        if len(vocabulary.words()) == 0:
+            raise ValueError(
+                "cannot model traffic over an empty vocabulary "
+                "(no feature object has keywords)"
+            )
+        # Rank 1 = most frequent word in the dataset: Zipf weights over
+        # dataset-frequency ranks make synthetic popularity follow real
+        # skew instead of an arbitrary alphabetical order.
+        self._ranked = vocabulary.most_frequent(len(vocabulary.words()))
+        self._weights = _zipf_weights(
+            len(self._ranked), self.config.zipf_exponent
+        )
+        self._cumulative = _cumulative(self._weights)
+        self.hotspot_box: Optional[BoundingBox] = None
+        self._hot_ranked: List[str] = []
+        self._hot_cumulative: List[float] = []
+        if self.config.hotspot_fraction > 0:
+            self._place_hotspot(feature_objects)
+
+    # ------------------------------------------------------------------ #
+    # introspection (property tests hook in here)
+
+    @property
+    def ranked_words(self) -> List[str]:
+        """Vocabulary in popularity order (rank 1 first)."""
+        return list(self._ranked)
+
+    @property
+    def keyword_weights(self) -> List[float]:
+        """Unnormalised Zipf weight per rank (monotonically non-rising)."""
+        return list(self._weights)
+
+    @property
+    def hotspot_words(self) -> List[str]:
+        """The hotspot's own ranked vocabulary (empty without a hotspot)."""
+        return list(self._hot_ranked)
+
+    # ------------------------------------------------------------------ #
+    # schedule generation
+
+    def schedule(self) -> List[ScheduledRequest]:
+        """The full deterministic request schedule, sorted by send time."""
+        cfg = self.config
+        arrival_rng = random.Random(f"{cfg.seed}-arrivals")
+        entries: List[Tuple[float, str]] = [
+            (t, "steady") for t in self._arrival_times(arrival_rng)
+        ]
+        if cfg.burst_every_seconds > 0 and cfg.burst_size > 0:
+            t = cfg.burst_every_seconds
+            while t < cfg.duration_seconds:
+                entries.extend((t, "burst") for _ in range(cfg.burst_size))
+                t += cfg.burst_every_seconds
+        # Stable sort: same-instant burst groups keep generation order,
+        # so the schedule is deterministic even at timestamp ties.
+        entries.sort(key=lambda entry: entry[0])
+        slow_clients = self._slow_clients()
+        spec_rng = random.Random(f"{cfg.seed}-specs")
+        client_rng = random.Random(f"{cfg.seed}-clients")
+        requests: List[ScheduledRequest] = []
+        for index, (send_at, profile) in enumerate(entries):
+            client = client_rng.randrange(cfg.clients)
+            if client in slow_clients:
+                profile = "slow"
+            requests.append(
+                ScheduledRequest(
+                    index=index,
+                    send_at=send_at,
+                    spec=self._make_spec(spec_rng),
+                    client=client,
+                    profile=profile,
+                )
+            )
+        return requests
+
+    def _arrival_times(self, rng: random.Random) -> List[float]:
+        cfg = self.config
+        times: List[float] = []
+        if cfg.arrival == "poisson":
+            t = rng.expovariate(cfg.rate)
+            while t < cfg.duration_seconds:
+                times.append(t)
+                t += rng.expovariate(cfg.rate)
+            return times
+        # Diurnal via thinning: draw candidates at the peak rate, keep a
+        # candidate at time t with probability rate(t)/rate_max.  The
+        # rate curve rises through the first half-period and dips
+        # through the second (sin starts at the mean, not the trough).
+        period = cfg.diurnal_period_seconds or cfg.duration_seconds
+        rate_max = cfg.rate * (1.0 + cfg.diurnal_amplitude)
+        t = rng.expovariate(rate_max)
+        while t < cfg.duration_seconds:
+            rate_t = cfg.rate * (
+                1.0
+                + cfg.diurnal_amplitude * math.sin(2.0 * math.pi * t / period)
+            )
+            if rng.random() * rate_max < rate_t:
+                times.append(t)
+            t += rng.expovariate(rate_max)
+        return times
+
+    def _slow_clients(self) -> frozenset:
+        cfg = self.config
+        count = int(round(cfg.slow_client_fraction * cfg.clients))
+        if cfg.slow_client_fraction > 0:
+            count = max(count, 1)
+        rng = random.Random(f"{cfg.seed}-slow-clients")
+        return frozenset(rng.sample(range(cfg.clients), min(count, cfg.clients)))
+
+    def _make_spec(self, rng: random.Random) -> Dict[str, object]:
+        cfg = self.config
+        hot = (
+            self.hotspot_box is not None
+            and rng.random() < cfg.hotspot_fraction
+        )
+        if hot and self._hot_ranked:
+            ranked, cumulative = self._hot_ranked, self._hot_cumulative
+        else:
+            ranked, cumulative = self._ranked, self._cumulative
+        wanted = min(cfg.keywords_per_query, len(ranked))
+        chosen: List[str] = []
+        seen = set()
+        while len(chosen) < wanted:
+            word = ranked[_sample_rank(rng, cumulative)]
+            if word not in seen:
+                seen.add(word)
+                chosen.append(word)
+        spec: Dict[str, object] = {"keywords": sorted(chosen), "k": cfg.k}
+        if cfg.radius is not None:
+            spec["radius"] = cfg.radius
+        if cfg.algorithm is not None:
+            spec["algorithm"] = cfg.algorithm
+        if cfg.deadline_ms is not None:
+            spec["deadline_ms"] = cfg.deadline_ms
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # hotspot placement
+
+    def _place_hotspot(self, feature_objects: Sequence[FeatureObject]) -> None:
+        cfg = self.config
+        rng = random.Random(f"{cfg.seed}-hotspot")
+        width = (self.extent.max_x - self.extent.min_x) * (
+            cfg.hotspot_extent_fraction
+        )
+        height = (self.extent.max_y - self.extent.min_y) * (
+            cfg.hotspot_extent_fraction
+        )
+        min_x = self.extent.min_x + rng.random() * (
+            (self.extent.max_x - self.extent.min_x) - width
+        )
+        min_y = self.extent.min_y + rng.random() * (
+            (self.extent.max_y - self.extent.min_y) - height
+        )
+        self.hotspot_box = BoundingBox(min_x, min_y, min_x + width, min_y + height)
+        inside = [
+            feature
+            for feature in feature_objects
+            if self.hotspot_box.contains(feature.x, feature.y)
+        ]
+        hot_vocabulary = Vocabulary.from_features(inside)
+        self._hot_ranked = hot_vocabulary.most_frequent(
+            len(hot_vocabulary.words())
+        )
+        # A hotspot landing in an empty corner falls back to the global
+        # vocabulary -- the box still shapes nothing, but the schedule
+        # stays well-formed instead of failing on an unlucky seed.
+        if self._hot_ranked:
+            self._hot_cumulative = _cumulative(
+                _zipf_weights(len(self._hot_ranked), cfg.zipf_exponent)
+            )
+
+
+# --------------------------------------------------------------------- #
+# Zipf helpers
+
+
+def _zipf_weights(size: int, exponent: float) -> List[float]:
+    """Weight ``1 / rank**exponent`` per rank, rank 1 first."""
+    return [1.0 / float(rank) ** exponent for rank in range(1, size + 1)]
+
+
+def _cumulative(weights: Sequence[float]) -> List[float]:
+    total = 0.0
+    cumulative: List[float] = []
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    return cumulative
+
+
+def _sample_rank(rng: random.Random, cumulative: Sequence[float]) -> int:
+    """Draw a 0-based rank index proportionally to the weight profile."""
+    point = rng.random() * cumulative[-1]
+    index = bisect.bisect_right(cumulative, point)
+    return min(index, len(cumulative) - 1)
+
+
+__all__ = [
+    "ARRIVAL_CHOICES",
+    "PROFILES",
+    "ScheduledRequest",
+    "TrafficModel",
+    "WorkloadConfig",
+]
